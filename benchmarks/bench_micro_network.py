@@ -1,0 +1,71 @@
+"""Section 3 microbenchmark: Myrinet message round-trip times.
+
+Paper: "4-, 64-, 256-, 1K- and 4K-byte messages see round-trip times of
+40, 61, 100, 256 and 876 us.  Large messages achieve bandwidths of
+about 17 MB/sec."
+"""
+
+import pytest
+
+from conftest import emit
+from repro.cluster.config import MachineParams
+from repro.harness.calibration import microbenchmark_rows
+from repro.harness.tables import fmt_table
+from repro.net.message import Message
+from repro.net.myrinet import Network
+from repro.sim.engine import Engine
+from repro.stats.counters import Stats
+
+
+def _simulated_round_trip(size: int) -> float:
+    """Measure an actual request/reply pair through the network model."""
+    eng = Engine()
+    params = MachineParams()
+    stats = Stats(params.n_nodes)
+    done = []
+
+    def deliver(msg):
+        if msg.mtype == "ping":
+            net.send(Message(src=msg.dst, dst=msg.src, mtype="pong",
+                             size_bytes=size))
+        else:
+            done.append(eng.now)
+
+    net = Network(eng, params, stats, deliver)
+    net.send(Message(src=0, dst=1, mtype="ping", size_bytes=size))
+    eng.run()
+    return done[0]
+
+
+def test_microbenchmark_table(benchmark):
+    rows = []
+    for size, paper_rt, model_rt, ratio in microbenchmark_rows():
+        sim_rt = _simulated_round_trip(size)
+        rows.append(
+            (f"{size}B", f"{paper_rt:.0f}", f"{model_rt:.1f}", f"{sim_rt:.1f}",
+             f"{ratio:.3f}")
+        )
+        # Shape claim: within 10% of the measured platform.
+        assert abs(ratio - 1.0) < 0.10
+    emit(
+        "Section 3 microbenchmark: message round-trip times",
+        fmt_table(
+            ["Size", "Paper RT (us)", "Model RT (us)", "Simulated RT (us)",
+             "model/paper"],
+            rows,
+        ),
+    )
+    benchmark.pedantic(
+        lambda: _simulated_round_trip(4096), rounds=20, iterations=1
+    )
+
+
+def test_large_message_bandwidth(benchmark):
+    p = MachineParams()
+    bw_mb_s = 1.0 / p.nic_occupancy_per_byte_us
+    emit(
+        "Section 3 microbenchmark: streaming bandwidth",
+        f"model NIC streaming bandwidth: {bw_mb_s:.1f} MB/s (paper: ~17 MB/s)",
+    )
+    assert 15.0 < bw_mb_s < 19.0
+    benchmark.pedantic(lambda: p.one_way_latency_us(4096), rounds=50, iterations=100)

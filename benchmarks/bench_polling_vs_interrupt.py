@@ -1,0 +1,47 @@
+"""Section 5.4 analysis: the interaction between the notification
+mechanism and false sharing.
+
+Checked shape claims:
+* for the false-sharing applications, interrupts *delay* invalidations
+  while a node computes, letting it complete multiple local accesses
+  before losing the block -- the total number of SC misses drops
+  versus polling ("down to 4-70% of the polling case");
+* SC is more sensitive to the mechanism than the LRC protocols.
+"""
+
+from conftest import emit
+from repro.harness.experiment import RunConfig, run_experiment
+from repro.harness.tables import fmt_table
+
+from bench_faults_common import bench_one_run
+
+APP = "ocean-rowwise"   # boundary false sharing with temporally spread writes
+
+
+def test_interrupts_reduce_sc_ping_pong_misses(benchmark, scale):
+    rows = []
+    miss = {}
+    for proto in ("sc", "swlrc", "hlrc"):
+        for mech in ("polling", "interrupt"):
+            r = run_experiment(RunConfig(app=APP, protocol=proto,
+                                         granularity=4096, mechanism=mech,
+                                         scale=scale))
+            total = r.stats.read_faults + r.stats.write_faults
+            miss[(proto, mech)] = total
+            rows.append((proto.upper(), mech, r.stats.read_faults,
+                         r.stats.write_faults, f"{r.speedup:.2f}"))
+    emit(
+        f"Section 5.4: mechanism vs misses ({APP} at 4096 bytes)",
+        fmt_table(["Protocol", "Mechanism", "Read faults", "Write faults",
+                   "Speedup"], rows),
+    )
+    # Interrupts reduce SC's total misses (delayed-invalidation effect;
+    # the paper reports reductions to 4-70% of the polling count -- our
+    # region-batched accesses damp the effect to a few percent, see
+    # EXPERIMENTS.md).
+    assert miss[("sc", "interrupt")] < miss[("sc", "polling")], miss
+    # SC reacts more strongly to the mechanism than HLRC does.
+    sc_ratio = miss[("sc", "interrupt")] / max(1, miss[("sc", "polling")])
+    hlrc_ratio = miss[("hlrc", "interrupt")] / max(1, miss[("hlrc", "polling")])
+    assert sc_ratio <= hlrc_ratio * 1.02, (sc_ratio, hlrc_ratio)
+    bench_one_run(benchmark, APP, scale, protocol="sc", granularity=4096)

@@ -1,0 +1,19 @@
+"""Table 11: Raytrace fault counts.
+
+Paper context: scene reads are read-only (cold replication); the
+interesting faults come from task stealing and fine-grained image
+writes, which false-share at coarse granularity under SC.
+"""
+
+from bench_faults_common import bench_one_run, collect_faults, emit_fault_table
+
+
+def test_table11_raytrace_faults(benchmark, scale):
+    measured = collect_faults("raytrace", scale)
+    emit_fault_table("raytrace", measured, None, "Table 11: Raytrace fault counts")
+    # HLRC eliminates most write-write false sharing at page grain.
+    assert measured[("write", "hlrc")][3] <= measured[("write", "sc")][3]
+    # Cold scene replication: read faults exist at all granularities.
+    for proto in ("sc", "swlrc", "hlrc"):
+        assert all(v > 0 for v in measured[("read", proto)]), proto
+    bench_one_run(benchmark, "raytrace", scale)

@@ -1,0 +1,19 @@
+"""Table 12: Barnes-Spatial fault counts.
+
+Paper shape claim: compared with HLRC at 4096 bytes, SC at 64 bytes
+takes many more read misses (the paper reports 24x) -- the price of
+losing prefetching on the scattered tree cells.
+"""
+
+from bench_faults_common import bench_one_run, collect_faults, emit_fault_table
+
+
+def test_table12_barnes_spatial_faults(benchmark, scale):
+    measured = collect_faults("barnes-spatial", scale)
+    emit_fault_table(
+        "barnes-spatial", measured, None, "Table 12: Barnes-Spatial fault counts"
+    )
+    sc64 = measured[("read", "sc")][0]
+    hlrc4096 = measured[("read", "hlrc")][3]
+    assert sc64 > 2 * hlrc4096, (sc64, hlrc4096)
+    bench_one_run(benchmark, "barnes-spatial", scale)

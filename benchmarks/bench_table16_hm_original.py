@@ -1,0 +1,44 @@
+"""Table 16: harmonic mean of relative efficiencies over the 8
+original applications.
+
+Checked shape claims (Section 5.5):
+* fixing SC at 4096 bytes is the worst cell of the SC row (the paper's
+  0.274 collapse);
+* the HLRC row improves monotonically-ish toward coarse granularity
+  and its 4096 cell is the best fixed (protocol, granularity) choice;
+* per-application free choice (g_best) brings both SC and HLRC near
+  the top (paper: 0.955 vs 0.956).
+"""
+
+from conftest import emit
+from repro.apps import ORIGINAL_8
+from repro.cluster.config import GRANULARITIES
+from repro.harness.matrix import PROTOCOLS, SpeedupMatrix, sweep
+from repro.harness.tables import hm_table_text
+from repro.stats.relative_efficiency import hm_table
+
+from bench_faults_common import bench_one_run
+from paperdata import TABLE16
+
+
+def test_table16_hm_original(benchmark, scale):
+    results = sweep(ORIGINAL_8, scale=scale)
+    hm = hm_table(SpeedupMatrix(results).speedups(), ORIGINAL_8, PROTOCOLS,
+                  list(GRANULARITIES))
+    paper_note = "paper: " + ", ".join(
+        f"{p}-4096={TABLE16[p]['4096']:.3f}" for p in ("sc", "swlrc", "hlrc")
+    )
+    emit(
+        "Table 16: HM of relative efficiency (original 8 applications)",
+        hm_table_text(hm, "") + "\n" + paper_note,
+    )
+    # SC collapses at 4096; HLRC stays strong there.
+    assert hm["sc"]["4096"] < hm["sc"]["256"], hm["sc"]
+    assert hm["hlrc"]["4096"] > hm["sc"]["4096"], (hm["hlrc"], hm["sc"])
+    # HLRC's best fixed granularity is coarse.
+    assert max(hm["hlrc"], key=lambda k: hm["hlrc"][k] if k != "g_best" else 0) in (
+        "1024", "4096",
+    )
+    # Free per-app granularity choice makes SC and HLRC comparable.
+    assert abs(hm["sc"]["g_best"] - hm["hlrc"]["g_best"]) < 0.25
+    bench_one_run(benchmark, "lu", scale)

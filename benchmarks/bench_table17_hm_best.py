@@ -1,0 +1,39 @@
+"""Table 17: HM of relative efficiencies choosing the best
+implementation (version) of each application per combination.
+
+Checked shape claim (Section 5.5): including the restructured versions
+shifts the balance toward relaxed protocols and coarse granularity --
+the HLRC-4096 cell improves versus Table 16's, and coarse granularities
+dominate fine ones for the best-protocol row.
+"""
+
+from conftest import emit
+from repro.apps import APP_NAMES, VERSION_GROUPS
+from repro.cluster.config import GRANULARITIES
+from repro.harness.matrix import PROTOCOLS, SpeedupMatrix, sweep
+from repro.harness.tables import hm_table_text
+from repro.stats.relative_efficiency import best_version_speedups, hm_table
+
+from bench_faults_common import bench_one_run
+
+
+def test_table17_hm_best_versions(benchmark, scale):
+    results = sweep(APP_NAMES, scale=scale)
+    speedups = best_version_speedups(
+        SpeedupMatrix(results).speedups(), VERSION_GROUPS, PROTOCOLS,
+        list(GRANULARITIES),
+    )
+    apps = list(VERSION_GROUPS)
+    hm = hm_table(speedups, apps, PROTOCOLS, list(GRANULARITIES))
+    emit(
+        "Table 17: HM of relative efficiency (best version per combination)",
+        hm_table_text(hm, "")
+        + "\npaper: HLRC row 0.388/0.758/0.903/0.927, p_best g_best = 1.0",
+    )
+    # Best-version HLRC at coarse grain stays the strongest fixed cell.
+    assert hm["hlrc"]["4096"] >= hm["sc"]["4096"]
+    # Coarse granularities beat 64 bytes for the best-protocol row.
+    assert hm["p_best"]["1024"] >= hm["p_best"]["64"] * 0.9
+    # By construction the diagonal of free choices is 1.
+    assert hm["p_best"]["g_best"] == 1.0
+    bench_one_run(benchmark, "ocean-rowwise", scale)

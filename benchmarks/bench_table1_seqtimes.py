@@ -1,0 +1,24 @@
+"""Table 1: benchmarks, problem sizes, and sequential execution times.
+
+Regenerates the table from the per-application compute-cost models at
+the paper's full problem sizes and checks every entry within 5%.
+"""
+
+from conftest import emit
+from repro.harness.calibration import TABLE1, table1_rows
+from repro.harness.tables import fmt_table
+
+
+def test_table1_sequential_times(benchmark):
+    rows = []
+    for app, size, paper_s, model_s, ratio in table1_rows():
+        rows.append((app, size, f"{paper_s:.3f}", f"{model_s:.3f}", f"{ratio:.3f}"))
+        assert abs(ratio - 1.0) < 0.05, (app, ratio)
+    emit(
+        "Table 1: problem sizes and sequential execution times (full scale)",
+        fmt_table(
+            ["Benchmark", "Problem Size", "Paper (s)", "Model (s)", "ratio"],
+            rows,
+        ),
+    )
+    benchmark.pedantic(table1_rows, rounds=5, iterations=1)

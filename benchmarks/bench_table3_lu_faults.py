@@ -1,0 +1,35 @@
+"""Table 3: LU read/write faults per protocol and granularity.
+
+Paper shape claims checked:
+* read faults shrink ~4x per 4x granularity increase (prefetching of
+  contiguous 2048-byte LU blocks);
+* write faults are (essentially) zero at every granularity -- blocks
+  are written by their owner before anyone reads them, and owners'
+  blocks never share pages with other owners' blocks;
+* all three protocols see the same read-fault profile (LU has no false
+  sharing for the relaxed protocols to hide).
+"""
+
+from bench_faults_common import (
+    assert_read_faults_decrease_with_granularity,
+    bench_one_run,
+    collect_faults,
+    emit_fault_table,
+)
+from paperdata import LU_FAULTS
+
+
+def test_table3_lu_faults(benchmark, scale):
+    measured = collect_faults("lu", scale)
+    emit_fault_table("lu", measured, LU_FAULTS, "Table 3: LU fault counts")
+    assert_read_faults_decrease_with_granularity(measured, factor=4.0)
+    for proto in ("sc", "swlrc", "hlrc"):
+        writes = measured[("write", proto)]
+        # near-zero: a handful of boundary artifacts at 4096 at most
+        assert sum(writes[:3]) == 0, (proto, writes)
+        assert writes[3] <= measured[("read", proto)][3], (proto, writes)
+    # Same read profile across protocols (within 10%).
+    for g_idx in range(4):
+        vals = [measured[("read", p)][g_idx] for p in ("sc", "swlrc", "hlrc")]
+        assert max(vals) <= 1.1 * min(vals), vals
+    bench_one_run(benchmark, "lu", scale)

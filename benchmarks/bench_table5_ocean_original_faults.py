@@ -1,0 +1,36 @@
+"""Table 5: Ocean-Original fault counts.
+
+Paper shape claims:
+* zero write faults at all granularities and protocols (contiguous 4-d
+  subgrid allocation -> single writer per page, all writes home-local);
+* read faults dominated by the fine-grained column-border reads, so
+  they do NOT shrink proportionally with granularity (8-byte reads
+  fetch a whole block whatever its size: fragmentation 88-99%).
+"""
+
+from bench_faults_common import bench_one_run, collect_faults, emit_fault_table
+from paperdata import OCEAN_ORIGINAL_FAULTS
+
+
+def test_table5_ocean_original_faults(benchmark, scale):
+    measured = collect_faults("ocean-original", scale)
+    emit_fault_table(
+        "ocean-original", measured, OCEAN_ORIGINAL_FAULTS,
+        "Table 5: Ocean-Original fault counts",
+    )
+    for proto in ("sc", "swlrc", "hlrc"):
+        assert sum(measured[("write", proto)]) == 0, proto
+        reads = measured[("read", proto)]
+        # Column reads stay fine-grained: going 64 -> 4096 (64x) cuts
+        # read faults far less than 64x.
+        assert reads[0] < 30 * reads[3], (proto, reads)
+    bench_one_run(benchmark, "ocean-original", scale)
+
+
+def test_ocean_original_fragmentation(scale):
+    """Section 5.2.2: >88% of the fetched bytes are useless at 64 B and
+    >99% at 4096 B for the 8-byte column-border reads."""
+    from repro.memory.blocks import BlockSpace
+
+    assert BlockSpace(64).fragmentation(8, 1) > 0.85
+    assert BlockSpace(4096).fragmentation(8, 1) > 0.99

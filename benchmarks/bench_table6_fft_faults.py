@@ -1,0 +1,25 @@
+"""Table 6 (referenced in Section 5.2.2): FFT fault counts.
+
+Paper shape claims:
+* fine granularity multiplies read misses (no prefetching for the
+  transpose sub-row reads): 64-byte blocks see ~4x the misses of
+  256-byte blocks;
+* beyond the sub-row size, read misses stop improving (each remote
+  sub-row lives on a different page -> fragmentation);
+* writes are local (zero write faults).
+"""
+
+from bench_faults_common import bench_one_run, collect_faults, emit_fault_table
+
+
+def test_table6_fft_faults(benchmark, scale):
+    measured = collect_faults("fft", scale)
+    emit_fault_table("fft", measured, None, "Table 6: FFT fault counts")
+    for proto in ("sc", "swlrc", "hlrc"):
+        reads = measured[("read", proto)]
+        assert reads[0] > 2 * reads[1], (proto, reads)
+        # Fragmentation: once blocks exceed the sub-row, coarser blocks
+        # stop helping.
+        assert reads[3] >= 0.5 * reads[1], (proto, reads)
+        assert sum(measured[("write", proto)]) == 0, proto
+    bench_one_run(benchmark, "fft", scale)

@@ -1,0 +1,23 @@
+"""Table 8: Volrend-Rowwise fault counts.
+
+Paper shape claim: HLRC at 4096 bytes needs far fewer read misses than
+SC at 64 bytes (the paper reports 39x) -- whole-page fetches of image
+rows versus fine-grained misses.
+"""
+
+from bench_faults_common import bench_one_run, collect_faults, emit_fault_table
+from paperdata import VOLREND_ROWWISE_FAULTS
+
+
+def test_table8_volrend_rowwise_faults(benchmark, scale):
+    measured = collect_faults("volrend-rowwise", scale)
+    emit_fault_table(
+        "volrend-rowwise", measured, VOLREND_ROWWISE_FAULTS,
+        "Table 8: Volrend-Rowwise fault counts",
+    )
+    sc64_reads = measured[("read", "sc")][0]
+    hlrc4096_reads = measured[("read", "hlrc")][3]
+    # Paper: 39x at full scale; prefetching of whole pages must cut
+    # read misses by a large factor at any scale.
+    assert sc64_reads > 2 * hlrc4096_reads, (sc64_reads, hlrc4096_reads)
+    bench_one_run(benchmark, "volrend-rowwise", scale)

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+heavy lifting (the run matrix) happens once per session through the
+module-level cache in ``repro.harness.matrix``; the pytest-benchmark
+timings measure a single representative simulation run per bench so the
+numbers stay meaningful.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.matrix import clear_cache
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        default="default",
+        choices=["tiny", "default", "full"],
+        help="problem scale for the reproduction benches",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_cache():
+    yield
+    clear_cache()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table under a clear banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

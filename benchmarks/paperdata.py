@@ -1,0 +1,106 @@
+"""Reference numbers transcribed from the paper, used by the benches to
+print paper-vs-measured comparisons and check shape claims.
+
+Fault tables (Tables 3-13) give read/write fault counts per protocol at
+granularities 64/256/1024/4096 (the paper's full problem sizes; some
+cells are missing in the paper's text and appear as None).
+"""
+
+#: Table 3: LU
+LU_FAULTS = {
+    ("read", "sc"): [24654, 6297, 1574, 393],
+    ("read", "swlrc"): [24655, 6297, 1574, 393],
+    ("read", "hlrc"): [24655, 6297, 1574, 393],
+    ("write", "sc"): [0, 0, 0, 0],
+    ("write", "swlrc"): [0, 0, 0, 0],
+    ("write", "hlrc"): [0, 0, 0, 0],
+}
+
+#: Table 4: Ocean-Rowwise (the paper's SW-LRC/HLRC rows list 3 values)
+OCEAN_ROWWISE_FAULTS = {
+    ("read", "sc"): [21803, 6960, 2593, 3901],
+    ("read", "swlrc"): [5128, 1668, 781, None],
+    ("read", "hlrc"): [5176, 1653, 759, None],
+    ("write", "sc"): [4237, 1232, 392, 187],
+    ("write", "swlrc"): [1542, 388, 194, None],
+    ("write", "hlrc"): [1269, 368, 176, None],
+}
+
+#: Table 5: Ocean-Original
+OCEAN_ORIGINAL_FAULTS = {
+    ("read", "sc"): [92160, 27360, 11760, 7110],
+    ("read", "swlrc"): [None, 27360, 11760, 7110],
+    ("read", "hlrc"): [None, 27360, 11760, 7110],
+    ("write", "sc"): [0, 0, 0, 0],
+    ("write", "swlrc"): [0, 0, 0, 0],
+    ("write", "hlrc"): [0, 0, 0, 0],
+}
+
+#: Table 7: Water-Nsquared
+WATER_NSQUARED_FAULTS = {
+    ("read", "sc"): [20487, None, None, None],
+    ("read", "swlrc"): [22059, None, None, None],
+    ("read", "hlrc"): [20489, None, None, None],
+    ("write", "sc"): [8500, None, None, None],
+    ("write", "swlrc"): [8791, None, None, None],
+    ("write", "hlrc"): [8840, None, None, None],
+}
+
+#: Table 8: Volrend-Rowwise
+VOLREND_ROWWISE_FAULTS = {
+    ("read", "sc"): [786, None, None, None],
+    ("read", "swlrc"): [805, None, None, None],
+    ("read", "hlrc"): [800, None, None, None],
+    ("write", "sc"): [45, None, None, None],
+    ("write", "swlrc"): [50, None, None, None],
+    ("write", "hlrc"): [33, None, None, None],
+}
+
+#: Table 2 rows: app -> (writers, access grain, sync grain, barriers)
+TABLE2 = {
+    "lu": ("single", "coarse", "coarse", 64),
+    "ocean-rowwise": ("single", "coarse", "coarse", 323),
+    "ocean-original": ("single", "fine", "coarse", 328),
+    "fft": ("single", "fine", "coarse", 10),
+    "water-nsquared": ("multiple", "coarse", "fine", 12),
+    "volrend-rowwise": ("multiple", "fine", "coarse", 16),
+    "volrend-original": ("multiple", "fine", "coarse", 16),
+    "water-spatial": ("multiple", "fine", "coarse", 18),
+    "raytrace": ("multiple", "fine", "coarse", 1),
+    "barnes-spatial": ("multiple", "fine", "coarse", 12),
+    "barnes-parttree": ("multiple", "fine", "coarse", 13),
+    "barnes-original": ("multiple", "fine", "fine", 8),
+}
+
+#: Table 16: HM of RE over the original 8 applications
+TABLE16 = {
+    "sc": {"64": 0.753, "256": 0.837, "1024": 0.717, "4096": 0.274, "g_best": 0.955},
+    "swlrc": {"64": 0.400, "256": 0.749, "1024": 0.293, "4096": 0.558, "g_best": 0.861},
+    "hlrc": {"64": 0.388, "256": 0.758, "1024": 0.903, "4096": 0.927, "g_best": 0.956},
+    "p_best": {"64": 0.775, "256": 0.895, "1024": 0.935, "4096": 0.539, "g_best": 1.0},
+}
+
+#: Table 17 p_best row (best implementation per combination)
+TABLE17_P_BEST = {"64": 0.773, "256": 0.895, "1024": 0.935, "4096": 0.930}
+
+
+def fault_rows_for(app_table, measured, granularities=(64, 256, 1024, 4096)):
+    """Build printable rows combining paper values and measured ones.
+
+    ``measured[(kind, protocol)] -> [values per granularity]``.
+    """
+    rows = []
+    for kind in ("read", "write"):
+        for proto in ("sc", "swlrc", "hlrc"):
+            paper = app_table.get((kind, proto), [None] * 4) if app_table else None
+            got = measured.get((kind, proto), [None] * 4)
+            row = [kind.capitalize(), proto.upper()]
+            for i in range(len(granularities)):
+                pv = paper[i] if paper else None
+                gv = got[i]
+                row.append(
+                    f"{gv if gv is not None else '-'}"
+                    + (f" ({pv})" if pv is not None else "")
+                )
+            rows.append(row)
+    return rows

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Polling vs interrupts (paper Section 5.4).
+
+Two effects pull in opposite directions:
+
+* polling instruments every control-flow backedge, dilating compute
+  (LU runs 55% slower uniprocessor with the polling code inserted) but
+  reacting to messages within ~1.5 us;
+* interrupts cost ~70 us of Solaris signal handling per asynchronous
+  message, but leave compute undisturbed -- and by *delaying*
+  invalidations they let a node complete several accesses to a
+  contended block before losing it (an accidental delayed-consistency
+  implementation that damps SC's false-sharing ping-pong).
+
+So coarse-grain, message-light applications (LU) prefer interrupts,
+while communication-heavy ones prefer polling.  Run::
+
+    python examples/notification_mechanisms.py [--scale tiny|default]
+"""
+
+import argparse
+
+from repro.harness.experiment import RunConfig, run_experiment
+from repro.harness.tables import fmt_table
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", default="default", choices=["tiny", "default", "full"])
+    args = ap.parse_args()
+
+    rows = []
+    for app, g in (("lu", 4096), ("volrend-original", 4096)):
+        for proto in ("sc", "hlrc"):
+            cells = {}
+            for mech in ("polling", "interrupt"):
+                r = run_experiment(RunConfig(app=app, protocol=proto,
+                                             granularity=g, mechanism=mech,
+                                             scale=args.scale))
+                cells[mech] = r
+            p, i = cells["polling"], cells["interrupt"]
+            rows.append((
+                app, proto.upper(),
+                f"{p.speedup:.2f}", f"{i.speedup:.2f}",
+                f"{i.speedup / p.speedup:.2f}x",
+                p.stats.read_faults + p.stats.write_faults,
+                i.stats.read_faults + i.stats.write_faults,
+            ))
+    print(fmt_table(
+        ["Application", "Protocol", "Polling", "Interrupt", "int/poll",
+         "Misses (poll)", "Misses (int)"],
+        rows,
+        "Section 5.4: notification mechanism trade-off at 4096-byte blocks",
+    ))
+    print("\nExpected: LU gains markedly from interrupts (paper: 44-66%); "
+          "SC's miss count drops under interrupts for the false-sharing app.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Protocol showdown: reproduce the paper's central trade-off on two
+contrasting applications.
+
+* **Ocean-Original** (single writer, fine-grained column-border reads):
+  fragmentation ruins coarse granularity; SC at 64 bytes does best, and
+  relaxed protocols can't save the day -- the data just isn't there.
+* **Volrend-Original** (multiple writer, 4x4-pixel tile tasks): image
+  false sharing is everywhere; SC collapses at page granularity while
+  HLRC's multiple-writer diffs shrug it off.
+
+This is Figure 1's story in two panels.  Run::
+
+    python examples/protocol_showdown.py [--scale tiny|default]
+"""
+
+import argparse
+
+from repro.harness.experiment import RunConfig, run_experiment
+from repro.harness.figures import speedup_figure
+from repro.harness.matrix import sweep
+
+APPS = ["ocean-original", "volrend-original"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", default="default", choices=["tiny", "default", "full"])
+    args = ap.parse_args()
+
+    results = sweep(APPS, scale=args.scale,
+                    progress=lambda s: print(f"  running {s}..."))
+    for app in APPS:
+        print()
+        print(speedup_figure(results, app, title=f"=== {app} ==="))
+
+    # The paper's question 2: "for applications that suffer performance
+    # losses in moving to coarser granularities under SC, can the
+    # performance be regained using sophisticated protocols?"
+    for app in APPS:
+        sc64 = next(r.speedup for c, r in results.items()
+                    if (c.app, c.protocol, c.granularity) == (app, "sc", 64))
+        sc4k = next(r.speedup for c, r in results.items()
+                    if (c.app, c.protocol, c.granularity) == (app, "sc", 4096))
+        hl4k = next(r.speedup for c, r in results.items()
+                    if (c.app, c.protocol, c.granularity) == (app, "hlrc", 4096))
+        print(f"{app}: SC loses {sc64:.2f} -> {sc4k:.2f} moving to 4096; "
+              f"HLRC regains it to {hl4k:.2f} "
+              f"({'recovered' if hl4k > 0.8 * sc64 else 'NOT fully recovered'})")
+
+
+if __name__ == "__main__":
+    main()

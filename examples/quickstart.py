@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: build a tiny DSM cluster, run a parallel program on it,
+and compare the three coherence protocols.
+
+The program is a classic producer/consumer grid exchange: each of 4
+nodes fills its slice of a shared array, synchronizes at a barrier, and
+then reads the whole array.  Real bytes move through the simulated
+protocols, so the sums below are computed from data that actually
+traveled over the modeled Myrinet.
+
+Run::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Machine, MachineParams, SharedArray, run_program
+
+N = 4096            # array elements
+NODES = 4
+
+
+def program(dsm, rank, nprocs, arr=None):
+    n = N // nprocs
+    lo = rank * n
+    # Produce: write my slice (through the coherence protocol).
+    yield from arr.set_slice(dsm, lo, np.arange(lo, lo + n, dtype=np.float64))
+    # Model some local computation too.
+    yield from dsm.compute(500.0)  # microseconds
+    yield from dsm.barrier(0, participants=nprocs)
+    # Consume: read everything (faults pull remote blocks here).
+    values = yield from arr.get_slice(dsm, 0, N)
+    yield from dsm.barrier(0, participants=nprocs)
+    return float(values.sum())
+
+
+def main():
+    expected = float(np.arange(N).sum())
+    print(f"{'protocol':8s} {'granularity':>11s} {'time (ms)':>10s} "
+          f"{'read faults':>11s} {'write faults':>12s} {'traffic':>10s} ok")
+    for protocol in ("sc", "swlrc", "hlrc"):
+        for granularity in (64, 1024, 4096):
+            params = MachineParams(n_nodes=NODES, granularity=granularity)
+            machine = Machine(params, protocol=protocol)
+            arr = SharedArray(machine, "data", N, dtype=np.float64)
+            arr.init(np.zeros(N))
+
+            result = run_program(
+                machine, program, nprocs=NODES,
+                sequential_time_us=NODES * 500.0, arr=arr,
+            )
+            ok = all(abs(x - expected) < 1e-9 for x in result.results)
+            s = result.stats
+            print(
+                f"{protocol:8s} {granularity:11d} "
+                f"{result.elapsed_us / 1e3:10.2f} {s.read_faults:11d} "
+                f"{s.write_faults:12d} {s.total_traffic_bytes / 1024:8.1f}KB "
+                f"{'yes' if ok else 'NO -- BUG'}"
+            )
+            assert ok
+
+
+if __name__ == "__main__":
+    main()

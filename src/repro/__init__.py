@@ -1,0 +1,51 @@
+"""repro: reproduction of "Relaxed Consistency and Coherence Granularity
+in DSM Systems: A Performance Evaluation" (Zhou et al., PPoPP 1997).
+
+A discrete-event simulation of a 16-node Typhoon-0/Myrinet cluster
+running three software coherence protocols (SC, SW-LRC, HLRC) at four
+coherence granularities (64/256/1024/4096 bytes), plus the 12 SPLASH-2
+derived applications and the experiment harness that regenerates every
+table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import MachineParams, Machine, run_program
+
+    params = MachineParams(n_nodes=4, granularity=4096)
+    machine = Machine(params, protocol="hlrc")
+
+    def program(dsm, rank, nprocs):
+        yield from dsm.barrier(0, participants=nprocs)
+        yield from dsm.compute(100.0)
+        yield from dsm.barrier(0, participants=nprocs)
+
+    result = run_program(machine, program, nprocs=4)
+    print(result.stats.summary())
+"""
+
+from repro.cluster.config import (
+    GRANULARITIES,
+    PAGE_SIZE,
+    MachineParams,
+    NotificationMechanism,
+)
+from repro.cluster.machine import Machine
+from repro.runtime.dsm import Dsm
+from repro.runtime.program import ProgramResult, run_program
+from repro.runtime.shared_array import SharedArray, SharedMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineParams",
+    "NotificationMechanism",
+    "Machine",
+    "Dsm",
+    "SharedArray",
+    "SharedMatrix",
+    "run_program",
+    "ProgramResult",
+    "GRANULARITIES",
+    "PAGE_SIZE",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Robustness analysis: how the paper's conclusions move when the
+platform cost model moves."""
+
+from repro.analysis.sensitivity import (
+    SweepPoint,
+    granularity_preference,
+    sweep_parameter,
+)
+
+__all__ = ["sweep_parameter", "granularity_preference", "SweepPoint"]

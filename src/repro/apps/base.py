@@ -1,0 +1,122 @@
+"""Application framework.
+
+An :class:`Application` bundles
+
+* problem-size parameters at three scales (``tiny`` for tests,
+  ``default`` for the benchmark matrix, ``full`` = the paper's sizes),
+* a compute-cost model whose full-scale total matches Table 1,
+* a ``setup(machine)`` that allocates/places/initializes shared data
+  the way the SPLASH-2 program's init phase would (first-touch layout),
+* a ``program(dsm, rank, nprocs)`` generator -- the parallel program,
+* the paper's Table 2 classification, asserted by the classification
+  tests and re-derived by the measured classifier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Type
+
+from repro.cluster.machine import Machine
+from repro.runtime.dsm import Dsm
+
+
+class Application:
+    """Base class for the 12 benchmark applications."""
+
+    #: registry key, e.g. "ocean-rowwise"
+    name: str = "base"
+    #: Table 2 classification (expected)
+    writers: str = "single"        # 'single' | 'multiple'
+    access_grain: str = "coarse"   # 'coarse' | 'fine'
+    sync_grain: str = "coarse"     # 'coarse' | 'fine'
+    #: number of barrier episodes the paper reports (Table 2)
+    paper_barriers: int = 0
+    #: Table 1 sequential execution time at full scale (seconds)
+    paper_seq_time_s: float = 0.0
+    #: compute dilation when polling instrumentation is inserted
+    #: (Section 5.4: LU runs 55% slower uniprocessor with polling code)
+    poll_dilation: float = 0.08
+
+    #: parameter dictionaries per scale
+    tiny_params: Dict = {}
+    default_params: Dict = {}
+    full_params: Dict = {}
+
+    def __init__(self, scale: str = "default", **overrides):
+        if scale == "tiny":
+            base = dict(self.tiny_params)
+        elif scale == "default":
+            base = dict(self.default_params)
+        elif scale == "full":
+            base = dict(self.full_params)
+        else:
+            raise ValueError(f"unknown scale {scale!r}")
+        base.update(overrides)
+        self.scale = scale
+        self.params = base
+        self._configure(**base)
+
+    # ------------------------------------------------------------------
+    # subclass interface
+    # ------------------------------------------------------------------
+    def _configure(self, **params) -> None:
+        """Unpack the parameter dict into attributes."""
+        raise NotImplementedError
+
+    def sequential_time_us(self) -> float:
+        """Modeled uniprocessor execution time (no DSM, no polling)."""
+        raise NotImplementedError
+
+    def setup(self, machine: Machine) -> None:
+        """Allocate, place and initialize shared data (pre-parallel)."""
+        raise NotImplementedError
+
+    def program(self, dsm: Dsm, rank: int, nprocs: int) -> Generator:
+        """The per-rank parallel program."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def split(n: int, nprocs: int, rank: int) -> tuple:
+        """Contiguous block partition: [lo, hi) of n items for rank."""
+        base = n // nprocs
+        extra = n % nprocs
+        lo = rank * base + min(rank, extra)
+        hi = lo + base + (1 if rank < extra else 0)
+        return lo, hi
+
+    @staticmethod
+    def pattern(*keys: int) -> int:
+        """A deterministic byte pattern that varies with its keys, used
+        to make performance-app writes actually change memory (so HLRC
+        diffs are non-empty, as real data would be)."""
+        h = 0x9E
+        for k in keys:
+            h = (h * 31 + k + 1) & 0xFF
+        return h | 0x01  # never zero
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{type(self).__name__} scale={self.scale} {self.params}>"
+
+
+#: name -> Application subclass
+APP_REGISTRY: Dict[str, Type[Application]] = {}
+
+
+def register_app(cls: Type[Application]) -> Type[Application]:
+    if cls.name in APP_REGISTRY:
+        raise ValueError(f"duplicate app name {cls.name!r}")
+    APP_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_app(name: str, scale: str = "default", **overrides) -> Application:
+    try:
+        cls = APP_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; available: {sorted(APP_REGISTRY)}"
+        ) from None
+    return cls(scale=scale, **overrides)

@@ -1,0 +1,127 @@
+"""FFT: six-step 1-D FFT kernel (SPLASH-2).
+
+The n complex points are viewed as a sqrt(n) x sqrt(n) matrix with a
+contiguous set of rows per processor; source and destination matrices
+swap roles at each transpose.  In a transpose every processor reads an
+(n/p x n/p) submatrix from every other processor -- sub-row reads of
+``16 * sqrt(n)/p`` bytes, which is what makes FFT's *read* access
+granularity fine while its writes stay local and coarse (paper Tables
+2/6).
+
+Classification: single writer, fine-grain access, coarse-grain
+synchronization (10 barriers); all protocols poor (fragmentation);
+coarser granularity helps SC slightly through prefetching.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List
+
+from repro.apps.base import Application, register_app
+
+#: bytes per complex point
+ELEM = 16
+#: us per point per log2(point) per FFT pass (calibrated to Table 1)
+FFT_POINT_US = 1.12
+#: us per point per transpose (copy + cache misses)
+TRANSPOSE_POINT_US = 1.2
+
+
+@register_app
+class FFTApp(Application):
+    name = "fft"
+    writers = "single"
+    access_grain = "fine"
+    sync_grain = "coarse"
+    paper_barriers = 10
+    paper_seq_time_s = 27.257
+    poll_dilation = 0.10
+
+    tiny_params = {"n_points": 4096}
+    default_params = {"n_points": 65536}
+    full_params = {"n_points": 1 << 20}  # the paper's 1M-point / "1MB" run
+
+    #: (fft-passes, transposes) of the six-step algorithm
+    N_FFT_PASSES = 2
+    N_TRANSPOSES = 3
+
+    def _configure(self, n_points: int) -> None:
+        r = int(math.isqrt(n_points))
+        if r * r != n_points:
+            raise ValueError("n_points must be a perfect square")
+        self.n_points = n_points
+        self.rows = r
+        self.row_bytes = r * ELEM
+        self._mat: List[int] = []  # base addresses of the two matrices
+
+    def sequential_time_us(self) -> float:
+        n = self.n_points
+        fft = self.N_FFT_PASSES * FFT_POINT_US * n * math.log2(n) / 2
+        trans = self.N_TRANSPOSES * TRANSPOSE_POINT_US * n
+        return fft + trans
+
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        for name in ("fft-src", "fft-dst"):
+            seg = machine.alloc(self.n_points * ELEM, name)
+            self._mat.append(seg.base)
+            # First-touch layout: each processor's rows live with it.
+            for r in range(nprocs):
+                lo, hi = self.split(self.rows, nprocs, r)
+                machine.place(
+                    seg.base + lo * self.row_bytes,
+                    (hi - lo) * self.row_bytes,
+                    r,
+                )
+
+    def row_addr(self, mat: int, row: int, col: int = 0) -> int:
+        return self._mat[mat] + row * self.row_bytes + col * ELEM
+
+    # ------------------------------------------------------------------
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        r = self.rows
+        lo, hi = self.split(r, nprocs, rank)
+        my_rows = hi - lo
+        n_local = my_rows * r
+        fft_cost = FFT_POINT_US * n_local * math.log2(self.n_points) / 2
+        trans_cost = TRANSPOSE_POINT_US * n_local
+
+        src, dst = 0, 1
+        phase = 0
+        yield from dsm.barrier(0, participants=nprocs)
+        for step in range(self.N_TRANSPOSES):
+            # ---- transpose src -> dst --------------------------------
+            # Read the (my_rows x their_rows) submatrix of every other
+            # processor: their rows, my column range -- one sub-row
+            # read per remote row (the fine-grain pattern).
+            for p in range(nprocs):
+                peer = (rank + p) % nprocs  # stagger to avoid hot spots
+                plo, phi = self.split(r, nprocs, peer)
+                if peer != rank:
+                    for row in range(plo, phi):
+                        yield from dsm.touch_read(
+                            self.row_addr(src, row, lo), my_rows * ELEM
+                        )
+            # Destination rows are local and written wholesale.
+            yield from dsm.touch_write(
+                self.row_addr(dst, lo, 0),
+                my_rows * self.row_bytes,
+                pattern=self.pattern(step, rank, phase),
+            )
+            yield from dsm.compute(trans_cost)
+            yield from dsm.barrier(1, participants=nprocs)
+            phase += 1
+
+            # ---- local FFT pass on own rows (no communication) -------
+            if step < self.N_FFT_PASSES:
+                yield from dsm.touch_write(
+                    self.row_addr(dst, lo, 0),
+                    my_rows * self.row_bytes,
+                    pattern=self.pattern(step, rank, 99),
+                )
+                yield from dsm.compute(fft_cost)
+                yield from dsm.barrier(2, participants=nprocs)
+            src, dst = dst, src
+        yield from dsm.barrier(0, participants=nprocs)

@@ -1,0 +1,157 @@
+"""LU: blocked dense LU factorization (SPLASH-2, contiguous-blocks
+version).
+
+The version the paper uses "allocates each block continuously in
+virtual memory and assigns contiguous blocks to each processor": block
+(I, J) belongs to a 2-D-scattered owner, and all blocks of one owner
+are laid out back-to-back in the shared address space, so no two
+processors' blocks share a page.  The result (paper Table 3): zero
+write faults at every granularity, read faults shrinking ~4x per 4x
+granularity, and all protocols improving with granularity
+(prefetching).
+
+Classification (Table 2): single writer, coarse-grain access,
+coarse-grain synchronization; 64 barriers at full scale; all protocols
+good, all improve with granularity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, Tuple
+
+from repro.apps.base import Application, register_app
+
+#: bytes per matrix element
+ELEM = 8
+#: calibration constant: microseconds per B^3-flop block operation unit
+#: (chosen so the 1024x1024/B=16 problem matches Table 1's 73.41 s)
+BLOCK_OP_US = 420.0
+
+
+@register_app
+class LUApp(Application):
+    name = "lu"
+    writers = "single"
+    access_grain = "coarse"
+    sync_grain = "coarse"
+    paper_barriers = 64
+    paper_seq_time_s = 73.41
+    # Section 5.4: LU with polling code inserted runs 55% slower on one
+    # processor.
+    poll_dilation = 0.55
+
+    tiny_params = {"n": 64, "block": 16}
+    default_params = {"n": 384, "block": 16}
+    full_params = {"n": 1024, "block": 16}
+
+    def _configure(self, n: int, block: int) -> None:
+        if n % block:
+            raise ValueError("matrix size must be a multiple of the block size")
+        self.n = n
+        self.block = block
+        self.nb = n // block
+        self.block_bytes = block * block * ELEM
+        self._addr: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def owner(self, bi: int, bj: int, nprocs: int) -> int:
+        """2-D scatter decomposition of blocks over a ~square grid."""
+        pr = int(math.sqrt(nprocs))
+        while nprocs % pr:
+            pr -= 1
+        pc = nprocs // pr
+        return (bi % pr) * pc + (bj % pc)
+
+    def work_units(self) -> float:
+        """Total block-operation units of the factorization."""
+        nb = self.nb
+        units = 0.0
+        for k in range(nb):
+            units += 0.5  # diagonal factorization
+            units += 2.0 * (nb - k - 1)  # row + column perimeter
+            units += 2.0 * (nb - k - 1) ** 2  # interior updates
+        return units
+
+    def _unit_cost(self) -> float:
+        # Scale block-op cost with B^3 relative to the reference B=16.
+        return BLOCK_OP_US * (self.block / 16) ** 3
+
+    def sequential_time_us(self) -> float:
+        return self.work_units() * self._unit_cost()
+
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        # Group the blocks by owner so each processor's data is
+        # contiguous in the address space (the version's key property).
+        per_owner: Dict[int, list] = {}
+        for bi in range(self.nb):
+            for bj in range(self.nb):
+                per_owner.setdefault(self.owner(bi, bj, nprocs), []).append((bi, bj))
+        for owner_id in sorted(per_owner):
+            # Column-major order within an owner: adjacent blocks in
+            # memory are (i, k) and (i + pr, k) -- read in the same
+            # step, written in the same earlier steps, so a 4096-byte
+            # page never sees read-write false sharing and the extra
+            # block fetched with a page is exactly the next one needed
+            # (prefetching, Section 5.2.2).
+            blocks = sorted(per_owner[owner_id], key=lambda b: (b[1], b[0]))
+            seg = machine.alloc(len(blocks) * self.block_bytes, f"lu-p{owner_id}")
+            machine.place_segment(seg, owner_id)
+            for idx, (bi, bj) in enumerate(blocks):
+                self._addr[(bi, bj)] = seg.base + idx * self.block_bytes
+
+    def block_addr(self, bi: int, bj: int) -> int:
+        return self._addr[(bi, bj)]
+
+    # ------------------------------------------------------------------
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        nb = self.nb
+        c = self._unit_cost()
+        bb = self.block_bytes
+        own = lambda bi, bj: self.owner(bi, bj, nprocs) == rank
+
+        for k in range(nb):
+            # -- diagonal factorization by its owner
+            if own(k, k):
+                yield from dsm.touch_write(
+                    self.block_addr(k, k), bb, pattern=self.pattern(k, k, 0)
+                )
+                yield from dsm.compute(0.5 * c)
+            yield from dsm.barrier(0, participants=nprocs)
+
+            # -- perimeter updates read the diagonal block
+            diag = self.block_addr(k, k)
+            for i in range(k + 1, nb):
+                if own(i, k):
+                    yield from dsm.touch_read(diag, bb)
+                    yield from dsm.touch_write(
+                        self.block_addr(i, k), bb, pattern=self.pattern(k, i, 1)
+                    )
+                    yield from dsm.compute(c)
+            for j in range(k + 1, nb):
+                if own(k, j):
+                    yield from dsm.touch_read(diag, bb)
+                    yield from dsm.touch_write(
+                        self.block_addr(k, j), bb, pattern=self.pattern(k, j, 2)
+                    )
+                    yield from dsm.compute(c)
+            yield from dsm.barrier(1, participants=nprocs)
+
+            # -- interior updates: A[i][j] -= A[i][k] * A[k][j]
+            for i in range(k + 1, nb):
+                for j in range(k + 1, nb):
+                    if own(i, j):
+                        yield from dsm.touch_read(self.block_addr(i, k), bb)
+                        yield from dsm.touch_read(self.block_addr(k, j), bb)
+                        yield from dsm.touch_write(
+                            self.block_addr(i, j),
+                            bb,
+                            pattern=self.pattern(k, i * nb + j, 3),
+                        )
+                        yield from dsm.compute(2.0 * c)
+            # The next step's diagonal is computed by the processor that
+            # just updated it, so only the perimeter consumers need the
+            # top-of-loop barrier.
+        yield from dsm.barrier(0, participants=nprocs)

@@ -1,0 +1,196 @@
+"""Ocean: eddy-current simulation on regular grids (SPLASH-2).
+
+Two versions (paper Section 4 / 5.3):
+
+* **Ocean-Original** -- the SPLASH-2 "contiguous" version: each
+  processor's square subgrid is allocated contiguously (4-d arrays), so
+  there is a single writer per page, but *column* borders are read one
+  8-byte element at a time -> fine-grain reads, 88-99% fragmentation,
+  all protocols poor (Table 5).
+* **Ocean-Rowwise** -- row-wise partitioning: border exchanges become
+  whole contiguous rows -> coarse-grain reads.  The 514x514 grid's
+  4112-byte rows misalign with 4096-byte pages, so fragmentation and
+  write-write false sharing appear at the partition boundaries at page
+  granularity (speedups decline at 4K, Table 4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from repro.apps.base import Application, register_app
+
+ELEM = 8
+#: us per grid point per relaxation sweep (calibrated: 514^2 x 150
+#: sweeps ~ 37.43 s, Table 1)
+POINT_US = 0.945
+
+
+class OceanBase(Application):
+    writers = "single"
+    sync_grain = "coarse"
+    paper_seq_time_s = 37.43
+    poll_dilation = 0.12
+
+    tiny_params = {"n": 34, "sweeps": 3}
+    default_params = {"n": 450, "sweeps": 10}
+    full_params = {"n": 514, "sweeps": 150}
+
+    def _configure(self, n: int, sweeps: int) -> None:
+        self.n = n
+        self.sweeps = sweeps
+        self.row_bytes = n * ELEM
+
+    def sequential_time_us(self) -> float:
+        return POINT_US * self.n * self.n * self.sweeps
+
+
+@register_app
+class OceanRowwise(OceanBase):
+    """Row-wise partitioning: coarse-grain border reads."""
+
+    name = "ocean-rowwise"
+    access_grain = "coarse"
+    paper_barriers = 323
+
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        # The grid's rows are packed back-to-back; 514*8 = 4112-byte
+        # rows deliberately do NOT align to pages, creating boundary
+        # false sharing at 4096-byte granularity exactly as the paper
+        # describes.
+        self.grid = machine.alloc(self.n * self.row_bytes, "ocean-grid")
+        for r in range(nprocs):
+            lo, hi = self.split(self.n, nprocs, r)
+            machine.place(self.grid.base + lo * self.row_bytes,
+                          (hi - lo) * self.row_bytes, r)
+
+    def row_addr(self, row: int) -> int:
+        return self.grid.base + row * self.row_bytes
+
+    #: chunks per boundary row: element-level stores at the partition
+    #: edge are individually preemptible by the neighbour's recalls, so
+    #: the boundary row is written in pieces with relaxation compute in
+    #: between -- the SC "ping-pong" of Section 5.4 needs this temporal
+    #: spread to show up
+    BOUNDARY_CHUNKS = 8
+
+    def _write_boundary_row(self, dsm, row: int, it: int, phase: int,
+                            rank: int, chunk_cost: float) -> Generator:
+        addr = self.row_addr(row)
+        chunk = max(1, self.row_bytes // self.BOUNDARY_CHUNKS)
+        pos = 0
+        while pos < self.row_bytes:
+            size = min(chunk, self.row_bytes - pos)
+            yield from dsm.touch_write(
+                addr + pos, size, pattern=self.pattern(it, phase, rank, pos)
+            )
+            yield from dsm.compute(chunk_cost)
+            pos += size
+
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        lo, hi = self.split(self.n, nprocs, rank)
+        my_rows = hi - lo
+        # Red-black Gauss-Seidel: two half-sweeps per iteration, each
+        # reading the neighbours' boundary rows again (they changed in
+        # the other colour's pass).
+        half_cost = POINT_US * my_rows * self.n / 2.0
+        boundary_rows = [lo, hi - 1] if my_rows > 1 else [lo]
+        interior_rows = my_rows - len(boundary_rows)
+        boundary_chunk_cost = (
+            POINT_US * self.n / 2.0 / self.BOUNDARY_CHUNKS
+        )
+        interior_cost = half_cost - POINT_US * self.n * len(boundary_rows) / 2.0
+        yield from dsm.barrier(0, participants=nprocs)
+        for it in range(self.sweeps):
+            for phase in range(2):
+                if lo > 0:
+                    yield from dsm.touch_read(self.row_addr(lo - 1), self.row_bytes)
+                if hi < self.n:
+                    yield from dsm.touch_read(self.row_addr(hi), self.row_bytes)
+                # Interior rows relax in bulk (their pages are private).
+                if interior_rows > 0:
+                    yield from dsm.touch_write(
+                        self.row_addr(lo + 1),
+                        interior_rows * self.row_bytes,
+                        pattern=self.pattern(it, phase, rank),
+                    )
+                    yield from dsm.compute(max(0.0, interior_cost))
+                # Boundary rows relax element-chunk-wise (shared pages).
+                for row in boundary_rows:
+                    yield from self._write_boundary_row(
+                        dsm, row, it, phase, rank, boundary_chunk_cost
+                    )
+                yield from dsm.barrier(1 + phase, participants=nprocs)
+
+
+@register_app
+class OceanOriginal(OceanBase):
+    """Contiguous subgrid (4-d array) partitioning: fine column reads."""
+
+    name = "ocean-original"
+    access_grain = "fine"
+    paper_barriers = 328
+
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        pr = int(math.sqrt(nprocs))
+        while nprocs % pr:
+            pr -= 1
+        self.pr = pr
+        self.pc = nprocs // pr
+        self.sub_rows = (self.n + self.pr - 1) // self.pr
+        self.sub_cols = (self.n + self.pc - 1) // self.pc
+        self.sub_row_bytes = self.sub_cols * ELEM
+        self.sub_bytes = self.sub_rows * self.sub_row_bytes
+        # One contiguous allocation per processor's subgrid: single
+        # writer per page by construction.
+        self.subgrids = []
+        for r in range(nprocs):
+            seg = machine.alloc(self.sub_bytes, f"ocean-sub{r}")
+            machine.place_segment(seg, r)
+            self.subgrids.append(seg.base)
+
+    def neighbor(self, rank: int, dr: int, dc: int, nprocs: int):
+        r, c = divmod(rank, self.pc)
+        nr, nc = r + dr, c + dc
+        if 0 <= nr < self.pr and 0 <= nc < self.pc:
+            n = nr * self.pc + nc
+            if n < nprocs:
+                return n
+        return None
+
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        base = self.subgrids[rank]
+        sweep_cost = POINT_US * self.sub_rows * self.sub_cols
+        yield from dsm.barrier(0, participants=nprocs)
+        for it in range(self.sweeps):
+            # Row borders of up/down neighbours: contiguous sub-rows.
+            up = self.neighbor(rank, -1, 0, nprocs)
+            if up is not None:
+                last_row = self.subgrids[up] + (self.sub_rows - 1) * self.sub_row_bytes
+                yield from dsm.touch_read(last_row, self.sub_row_bytes)
+            down = self.neighbor(rank, 1, 0, nprocs)
+            if down is not None:
+                yield from dsm.touch_read(self.subgrids[down], self.sub_row_bytes)
+            # Column borders of left/right neighbours: ONE ELEMENT AT A
+            # TIME -- the fine-grain pattern that fragments badly at
+            # coarse granularity (>99% useless traffic at 4096 bytes).
+            left = self.neighbor(rank, 0, -1, nprocs)
+            if left is not None:
+                col = self.subgrids[left] + (self.sub_cols - 1) * ELEM
+                for row in range(self.sub_rows):
+                    yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
+            right = self.neighbor(rank, 0, 1, nprocs)
+            if right is not None:
+                col = self.subgrids[right]
+                for row in range(self.sub_rows):
+                    yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
+            # Relax the whole local subgrid in place (local writes).
+            yield from dsm.touch_write(
+                base, self.sub_bytes, pattern=self.pattern(it, rank)
+            )
+            yield from dsm.compute(sweep_cost)
+            yield from dsm.barrier(1, participants=nprocs)
+            yield from dsm.barrier(2, participants=nprocs)

@@ -1,0 +1,120 @@
+"""Raytrace: optimized ray tracing of complex scenes (SPLASH-2).
+
+The scene data (balls4) is read-only during rendering; rays shot into
+it cause cold read misses that replicate the scene across nodes.  The
+interesting communication is (a) task stealing through distributed
+lock-protected task queues and (b) fine-grained writes of image-plane
+pixels as each task completes -- multiple writers with false sharing at
+coarse granularity (Table 11).  Only one barrier (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import Application, register_app
+
+PIXEL = 4
+#: us per primary ray / pixel (calibrated: 512^2 balls4 ~ 343.76 s)
+RAY_US = 1311.0
+#: pixels per task (the SPLASH-2 bundle)
+TASK_PIXELS = 16
+
+
+@register_app
+class Raytrace(Application):
+    name = "raytrace"
+    writers = "multiple"
+    access_grain = "fine"
+    sync_grain = "coarse"
+    paper_barriers = 1
+    paper_seq_time_s = 343.76
+    poll_dilation = 0.10
+
+    tiny_params = {"image": 32, "scene_kb": 128}
+    default_params = {"image": 64, "scene_kb": 512}
+    full_params = {"image": 512, "scene_kb": 8192}
+
+    def _configure(self, image: int, scene_kb: int) -> None:
+        self.image = image
+        self.scene_bytes = scene_kb * 1024
+        self.row_bytes = image * PIXEL
+        self.n_tasks = (image * image) // TASK_PIXELS
+
+    def sequential_time_us(self) -> float:
+        return RAY_US * self.image * self.image
+
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        self.img = machine.alloc(self.image * self.row_bytes, "rt-image")
+        self.scene = machine.alloc(self.scene_bytes, "rt-scene")
+        machine.place_segment(self.scene, 0)
+        for r in range(nprocs):
+            lo, hi = self.split(self.image, nprocs, r)
+            machine.place(self.img.base + lo * self.row_bytes,
+                          (hi - lo) * self.row_bytes, r)
+
+    # ------------------------------------------------------------------
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        img = self.image
+        n_tasks = self.n_tasks
+
+        # Tasks are 4x4 pixel bundles in scanline order.
+        def task_region(t):
+            pix = t * TASK_PIXELS
+            row, col = divmod(pix, img)
+            return row, col
+
+        # Per-task work varies with scene density (deterministic hash),
+        # which is what makes stealing worthwhile.
+        def task_cost(t):
+            # Mean factor is 1.0, so the per-rank totals sum to the
+            # sequential model; the 6x spread drives task stealing.
+            h = (t * 2654435761) & 0xFFFF
+            return RAY_US * TASK_PIXELS * (0.25 + 1.5 * h / 0xFFFF)
+
+        def do_task(t):
+            row, col = task_region(t)
+            # Rays traverse the scene: a handful of scattered reads of
+            # the read-only scene data (cold misses replicate it).
+            for k in range(3):
+                off = ((t * 104729 + k * 7919) * 128) % max(
+                    128, self.scene_bytes - 128
+                )
+                yield from dsm.touch_read(self.scene.base + off, 128)
+            yield from dsm.compute(task_cost(t))
+            addr = self.img.base + row * self.row_bytes + col * PIXEL
+            yield from dsm.touch_write(
+                addr,
+                TASK_PIXELS * PIXEL,
+                pattern=self.pattern(rank, t),
+            )
+
+        # Distributed task queues: drain the own queue with local
+        # operations; steal half of a victim's remainder under its
+        # queue lock (the paper's "interesting communication").
+        if not hasattr(self, "_queues"):
+            self._queues = [
+                list(range(*self.split(n_tasks, nprocs, p))) for p in range(nprocs)
+            ]
+        queues = self._queues
+
+        while queues[rank]:
+            t = queues[rank].pop(0)
+            yield from do_task(t)
+
+        for i in range(1, nprocs):
+            victim = (rank + i) % nprocs
+            while queues[victim]:
+                yield from dsm.acquire(800 + victim)
+                n = len(queues[victim])
+                grabbed = []
+                if n:
+                    take = max(1, n // 2)
+                    grabbed = queues[victim][n - take :]
+                    del queues[victim][n - take :]
+                yield from dsm.release(800 + victim)
+                for t in grabbed:
+                    yield from do_task(t)
+        yield from dsm.barrier(0, participants=nprocs)

@@ -1,0 +1,216 @@
+"""Volrend: volume rendering by ray casting (SPLASH-2).
+
+Rays are cast through read-only volume data onto a shared image plane.
+Work is distributed through per-processor task queues with stealing
+(lock-protected).  The two versions differ only in task shape
+(Section 4 / 5.3):
+
+* **Volrend-Original** -- 4x4-pixel tiles: better initial load balance,
+  but tiles are so small that *write-write false sharing on the image
+  is not eliminated even at 64-byte granularity* (Table 9 shows write
+  faults at every granularity).
+* **Volrend-Rowwise** -- whole image rows: interacts well with the
+  row-major layout, far less false sharing, but coarser load balance.
+
+Classification: multiple writer, fine-grain access, coarse-grain
+synchronization; 16 barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import Application, register_app
+
+#: bytes per pixel
+PIXEL = 4
+#: us per pixel rendered (calibrated: 128^2 x 4 frames ~ 4.493 s)
+PIXEL_US = 45.0
+#: weight spread of per-task cost (center of the head is denser)
+MAX_WEIGHT = 2.0
+
+
+class VolrendBase(Application):
+    writers = "multiple"
+    access_grain = "fine"
+    sync_grain = "coarse"
+    paper_barriers = 16
+    paper_seq_time_s = 4.493
+    poll_dilation = 0.10
+
+    tiny_params = {"image": 32, "frames": 1, "volume_kb": 64}
+    default_params = {"image": 64, "frames": 2, "volume_kb": 256}
+    full_params = {"image": 128, "frames": 4, "volume_kb": 2048}
+
+    def _configure(self, image: int, frames: int, volume_kb: int) -> None:
+        self.image = image
+        self.frames = frames
+        self.volume_bytes = volume_kb * 1024
+        self.row_bytes = image * PIXEL
+
+    def _task_grid(self):
+        """(x0, y0, w, h) of every task of one frame."""
+        raise NotImplementedError
+
+    def sequential_time_us(self) -> float:
+        """Exact sum of the per-task cost model over all frames."""
+        img = self.image
+        total = 0.0
+        for x0, y0, w, h in self._task_grid():
+            cx = (x0 + w / 2.0) / img
+            cy = (y0 + h / 2.0) / img
+            total += PIXEL_US * w * h * self.weight(cx, cy)
+        return total * self.frames
+
+    def weight(self, cx: float, cy: float) -> float:
+        """Ray-casting work is heavier near the volume center."""
+        dx = abs(cx - 0.5) * 2
+        dy = abs(cy - 0.5) * 2
+        r = min(1.0, (dx * dx + dy * dy) ** 0.5)
+        return 1.0 + MAX_WEIGHT * (1.0 - r)
+
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        self.img = machine.alloc(self.image * self.row_bytes, "vr-image")
+        self.vol = machine.alloc(self.volume_bytes, "vr-volume")
+        # The volume was initialized by node 0 (read-only afterwards).
+        machine.place_segment(self.vol, 0)
+        for r in range(nprocs):
+            lo, hi = self.split(self.image, nprocs, r)
+            machine.place(self.img.base + lo * self.row_bytes,
+                          (hi - lo) * self.row_bytes, r)
+
+    # ------------------------------------------------------------------
+    # task-queue machinery shared by both versions
+    # ------------------------------------------------------------------
+    def _run_task_loop(self, dsm, rank, nprocs, frame, tasks_of, do_task) -> Generator:
+        """Process own tasks lock-free, then steal from other queues.
+
+        As in the real program, a processor drains its own queue with
+        local atomic operations; the distributed-lock traffic comes
+        only from *stealing*, where a thief locks the victim's queue
+        and takes half of what remains ("the interesting communication
+        occurs in task stealing", Section 4).  The shared queues live
+        on the single Application object all ranks share; pops happen
+        atomically within one simulation event."""
+        key = ("queues", frame)
+        if not hasattr(self, "_shared"):
+            self._shared = {}
+        if key not in self._shared:
+            self._shared[key] = [list(tasks_of(p)) for p in range(nprocs)]
+        queues = self._shared[key]
+
+        # Drain own queue (no DSM locks; local queue operations).
+        while queues[rank]:
+            task = queues[rank].pop(0)
+            yield from do_task(task)
+
+        # Steal: lock the victim, take half of its remaining tasks.
+        for i in range(1, nprocs):
+            victim = (rank + i) % nprocs
+            while queues[victim]:
+                yield from dsm.acquire(900 + victim)
+                n = len(queues[victim])
+                grabbed = []
+                if n:
+                    take = max(1, n // 2)
+                    grabbed = queues[victim][n - take :]
+                    del queues[victim][n - take :]
+                yield from dsm.release(900 + victim)
+                for task in grabbed:
+                    yield from do_task(task)
+
+    def _render_task(self, dsm, rank, frame, x0, y0, w, h) -> Generator:
+        """Cast rays for a w x h pixel region: scattered reads of the
+        read-only volume plus writes of the region's pixel rows."""
+        img = self.image
+        cx = (x0 + w / 2.0) / img
+        cy = (y0 + h / 2.0) / img
+        cost = PIXEL_US * w * h * self.weight(cx, cy)
+        # A few scattered volume reads (read-only: faults only cold).
+        for k in range(2):
+            off = (
+                (x0 * 7919 + y0 * 104729 + k * 31 + frame)
+                * 64
+            ) % max(64, self.volume_bytes - 64)
+            yield from dsm.touch_read(self.vol.base + off, 64)
+        yield from dsm.compute(cost)
+        # Write the task's pixels row by row (tiles write 16-byte
+        # strips -> false sharing; rows write 512-byte rows).
+        for row in range(y0, y0 + h):
+            addr = self.img.base + row * self.row_bytes + x0 * PIXEL
+            yield from dsm.touch_write(
+                addr, w * PIXEL, pattern=self.pattern(frame, rank, row)
+            )
+
+
+@register_app
+class VolrendOriginal(VolrendBase):
+    """4x4-pixel tile tasks."""
+
+    name = "volrend-original"
+    TILE = 4
+
+    def _task_grid(self):
+        t = self.TILE
+        n = self.image // t
+        return [(x * t, y * t, t, t) for y in range(n) for x in range(n)]
+
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        img = self.image
+        t = self.TILE
+        tiles_per_dim = img // t
+        all_tiles = [
+            (x * t, y * t) for y in range(tiles_per_dim) for x in range(tiles_per_dim)
+        ]
+
+        def tasks_of(p):
+            # Round-robin tile assignment: the Original version trades
+            # memory-layout affinity for initial load balance (Section
+            # 5.3), which interleaves different processors' tiles in
+            # every image block -- write-write false sharing that not
+            # even 64-byte granularity eliminates.
+            return all_tiles[p::nprocs]
+
+        yield from dsm.barrier(0, participants=nprocs)
+        for frame in range(self.frames):
+            def do_task(tile, _frame=frame):
+                x0, y0 = tile
+                return self._render_task(dsm, rank, _frame, x0, y0, t, t)
+
+            yield from self._run_task_loop(
+                dsm, rank, nprocs, frame, tasks_of, do_task
+            )
+            yield from dsm.barrier(1, participants=nprocs)
+            yield from dsm.barrier(2, participants=nprocs)
+            yield from dsm.barrier(1, participants=nprocs)
+
+
+@register_app
+class VolrendRowwise(VolrendBase):
+    """Whole-image-row tasks."""
+
+    name = "volrend-rowwise"
+
+    def _task_grid(self):
+        return [(0, row, self.image, 1) for row in range(self.image)]
+
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        img = self.image
+        rows = list(range(img))
+
+        def tasks_of(p):
+            lo, hi = self.split(img, nprocs, p)
+            return rows[lo:hi]
+
+        yield from dsm.barrier(0, participants=nprocs)
+        for frame in range(self.frames):
+            def do_task(row, _frame=frame):
+                return self._render_task(dsm, rank, _frame, 0, row, img, 1)
+
+            yield from self._run_task_loop(
+                dsm, rank, nprocs, frame, tasks_of, do_task
+            )
+            yield from dsm.barrier(1, participants=nprocs)
+            yield from dsm.barrier(2, participants=nprocs)
+            yield from dsm.barrier(1, participants=nprocs)

@@ -1,0 +1,131 @@
+"""Water-Nsquared: O(n^2) molecular dynamics (SPLASH-2).
+
+Molecules live in one contiguous array (672 bytes each), partitioned
+contiguously (n/p per processor).  In the force phase each processor
+updates its own molecules *and the following n/2 molecules* of other
+processors, under per-partition locks -- a migratory read-modify-write
+pattern that stays coarse-grained at page level because consecutive
+molecules are contiguous (paper Table 7: large prefetching effects,
+LRC protocols show fewer read misses at 4096 bytes).
+
+Classification: multiple writer, coarse-grain access, *fine-grain
+synchronization* per Table 2 (12 barriers but frequent lock activity
+relative to the platform's sync cost).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.apps.base import Application, register_app
+
+#: bytes per molecule record (SPLASH-2 molecule struct)
+MOL_BYTES = 672
+#: us per molecule pair interaction (calibrated: 4096 mol x 3 steps
+#: ~ 575.283 s, Table 1)
+PAIR_US = 22.8
+#: us per molecule for the intra-molecule phases
+INTRA_US = 40.0
+
+
+@register_app
+class WaterNsquared(Application):
+    name = "water-nsquared"
+    writers = "multiple"
+    access_grain = "coarse"
+    sync_grain = "fine"
+    paper_barriers = 12
+    paper_seq_time_s = 575.283
+    poll_dilation = 0.15
+
+    tiny_params = {"n_mols": 64, "steps": 1}
+    default_params = {"n_mols": 512, "steps": 2}
+    full_params = {"n_mols": 4096, "steps": 3}
+
+    def _configure(self, n_mols: int, steps: int) -> None:
+        self.n_mols = n_mols
+        self.steps = steps
+
+    def sequential_time_us(self) -> float:
+        pairs = self.n_mols * (self.n_mols / 2.0)
+        return self.steps * (pairs * PAIR_US + 2 * self.n_mols * INTRA_US)
+
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        self.mols = machine.alloc(self.n_mols * MOL_BYTES, "water-mols")
+        for r in range(nprocs):
+            lo, hi = self.split(self.n_mols, nprocs, r)
+            machine.place(
+                self.mols.base + lo * MOL_BYTES, (hi - lo) * MOL_BYTES, r
+            )
+
+    def mol_addr(self, i: int) -> int:
+        return self.mols.base + i * MOL_BYTES
+
+    # ------------------------------------------------------------------
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        n = self.n_mols
+        lo, hi = self.split(n, nprocs, rank)
+        mine = hi - lo
+        yield from dsm.barrier(0, participants=nprocs)
+        for step in range(self.steps):
+            # ---- intra-molecule phase (predict positions): local -----
+            yield from dsm.touch_write(
+                self.mol_addr(lo), mine * MOL_BYTES,
+                pattern=self.pattern(step, rank, 0),
+            )
+            yield from dsm.compute(INTRA_US * mine)
+            yield from dsm.barrier(1, participants=nprocs)
+
+            # ---- inter-molecule force phase --------------------------
+            # Each processor interacts its molecules with the n/2
+            # molecules following its partition, grouped by the owner
+            # partition they fall in; per-partition locks serialize the
+            # read-modify-write force accumulation (migratory pattern).
+            window_end = lo + mine + n // 2
+            # Each own molecule interacts with the n/2 following ones:
+            # mine * n/2 pairs spread over a window of mine + n/2
+            # molecules.
+            pair_frac = (n / 2.0) / (mine + n / 2.0)
+            pos = lo
+            while pos < window_end:
+                owner = None
+                # find the partition containing `pos % n`
+                m = pos % n
+                for r2 in range(nprocs):
+                    plo, phi = self.split(n, nprocs, r2)
+                    if plo <= m < phi:
+                        owner = r2
+                        chunk_end = min(window_end, pos + (phi - m))
+                        break
+                span = chunk_end - pos
+                # Pair interactions computed for this chunk.
+                cost = PAIR_US * mine * span * pair_frac
+                if owner == rank:
+                    # Own partition: no lock needed for self pairs.
+                    yield from dsm.touch_write(
+                        self.mol_addr(m), span * MOL_BYTES,
+                        pattern=self.pattern(step, rank, pos),
+                    )
+                    yield from dsm.compute(cost)
+                else:
+                    yield from dsm.acquire(100 + owner)
+                    yield from dsm.touch_read(self.mol_addr(m), span * MOL_BYTES)
+                    yield from dsm.touch_write(
+                        self.mol_addr(m), span * MOL_BYTES,
+                        pattern=self.pattern(step, rank, pos),
+                    )
+                    yield from dsm.compute(cost)
+                    yield from dsm.release(100 + owner)
+                pos = chunk_end
+            yield from dsm.barrier(2, participants=nprocs)
+
+            # ---- intra-molecule correction phase: local --------------
+            yield from dsm.touch_write(
+                self.mol_addr(lo), mine * MOL_BYTES,
+                pattern=self.pattern(step, rank, 1),
+            )
+            yield from dsm.compute(INTRA_US * mine)
+            yield from dsm.barrier(3, participants=nprocs)
+            yield from dsm.barrier(1, participants=nprocs)

@@ -1,0 +1,153 @@
+"""Water-Spatial: cell-based molecular dynamics (SPLASH-2).
+
+The 3-d box is cut into cells; each processor owns a contiguous
+cubical partition of cells with the linked lists of molecules in them.
+Force computation reads molecule data from neighbouring partitions'
+face cells, and as molecules *move* between cells across steps, a
+processor's molecules scatter over pages owned by others -- the
+fine-grain, multiple-writer pattern of Table 10.  Synchronization is
+very coarse (Table 2: 1439.83 ms computation between syncs).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, List, Tuple
+
+from repro.apps.base import Application, register_app
+
+#: bytes per molecule record
+MOL_BYTES = 672
+#: us per molecule per step (calibrated: 4096 mol x 5 steps ~ 898.454 s)
+MOL_STEP_US = 43870.0
+
+
+@register_app
+class WaterSpatial(Application):
+    name = "water-spatial"
+    writers = "multiple"
+    access_grain = "fine"
+    sync_grain = "coarse"
+    paper_barriers = 18
+    paper_seq_time_s = 898.454
+    poll_dilation = 0.10
+
+    tiny_params = {"n_mols": 64, "steps": 1, "cells_side": 4}
+    default_params = {"n_mols": 512, "steps": 2, "cells_side": 8}
+    full_params = {"n_mols": 4096, "steps": 5, "cells_side": 16}
+
+    def _configure(self, n_mols: int, steps: int, cells_side: int) -> None:
+        self.n_mols = n_mols
+        self.steps = steps
+        self.side = cells_side
+        self.n_cells = cells_side**3
+        #: capacity per cell (molecules move; cells hold a few each)
+        self.cell_cap = max(2, (2 * n_mols) // self.n_cells)
+        self.cell_bytes = self.cell_cap * MOL_BYTES
+
+    def sequential_time_us(self) -> float:
+        return MOL_STEP_US * self.n_mols * self.steps
+
+    # ------------------------------------------------------------------
+    def setup(self, machine) -> None:
+        nprocs = machine.params.n_nodes
+        self.cells = machine.alloc(self.n_cells * self.cell_bytes, "ws-cells")
+        # Cubical partition: split the cube into nprocs sub-boxes along
+        # a 3-d processor grid.
+        self.pgrid = self._proc_grid(nprocs)
+        for cid in range(self.n_cells):
+            machine.place(
+                self.cells.base + cid * self.cell_bytes,
+                self.cell_bytes,
+                self.cell_owner(cid, nprocs),
+            )
+
+    @staticmethod
+    def _proc_grid(nprocs: int) -> Tuple[int, int, int]:
+        px = int(round(nprocs ** (1 / 3))) or 1
+        while nprocs % px:
+            px -= 1
+        rest = nprocs // px
+        py = int(math.sqrt(rest)) or 1
+        while rest % py:
+            py -= 1
+        pz = rest // py
+        return px, py, pz
+
+    def cell_coords(self, cid: int) -> Tuple[int, int, int]:
+        s = self.side
+        return cid // (s * s), (cid // s) % s, cid % s
+
+    def cell_owner(self, cid: int, nprocs: int) -> int:
+        px, py, pz = self.pgrid
+        x, y, z = self.cell_coords(cid)
+        s = self.side
+        ox = min(x * px // s, px - 1)
+        oy = min(y * py // s, py - 1)
+        oz = min(z * pz // s, pz - 1)
+        return (ox * py + oy) * pz + oz
+
+    def cell_addr(self, cid: int) -> int:
+        return self.cells.base + cid * self.cell_bytes
+
+    def owned_cells(self, rank: int, nprocs: int) -> List[int]:
+        return [c for c in range(self.n_cells) if self.cell_owner(c, nprocs) == rank]
+
+    def boundary_cells(self, rank: int, nprocs: int) -> List[int]:
+        """Owned cells with at least one face neighbour owned elsewhere."""
+        out = []
+        s = self.side
+        for c in self.owned_cells(rank, nprocs):
+            x, y, z = self.cell_coords(c)
+            for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+                               (0, 0, 1), (0, 0, -1)):
+                nx, ny, nz = x + dx, y + dy, z + dz
+                if 0 <= nx < s and 0 <= ny < s and 0 <= nz < s:
+                    ncid = (nx * s + ny) * s + nz
+                    if self.cell_owner(ncid, nprocs) != rank:
+                        out.append((c, ncid))
+        return out
+
+    # ------------------------------------------------------------------
+    def program(self, dsm, rank: int, nprocs: int) -> Generator:
+        owned = self.owned_cells(rank, nprocs)
+        boundary = self.boundary_cells(rank, nprocs)
+        my_mols = self.n_mols * len(owned) / max(1, self.n_cells)
+        step_cost = MOL_STEP_US * my_mols
+        yield from dsm.barrier(0, participants=nprocs)
+        for step in range(self.steps):
+            # ---- force phase: read neighbour partitions' face cells
+            # (one fine-grained read per remote cell), compute.
+            seen = set()
+            for own_c, remote_c in boundary:
+                if remote_c not in seen:
+                    seen.add(remote_c)
+                    yield from dsm.touch_read(
+                        self.cell_addr(remote_c), self.cell_bytes
+                    )
+            yield from dsm.compute(step_cost * 0.8)
+            # Update own cells in place.
+            for c in owned:
+                yield from dsm.touch_write(
+                    self.cell_addr(c), self.cell_bytes,
+                    pattern=self.pattern(step, rank, c),
+                )
+            yield from dsm.barrier(1, participants=nprocs)
+
+            # ---- molecule movement: some molecules cross partition
+            # faces, so this processor writes into cells owned by its
+            # neighbours (fine-grain multiple-writer; lock per cell).
+            moved = 0
+            for own_c, remote_c in boundary:
+                # Deterministically move from every 3rd boundary face.
+                if (own_c + remote_c + step) % 3 == 0:
+                    yield from dsm.acquire(500 + remote_c % 64)
+                    yield from dsm.touch_write(
+                        self.cell_addr(remote_c), MOL_BYTES,
+                        pattern=self.pattern(step, rank, remote_c),
+                    )
+                    yield from dsm.release(500 + remote_c % 64)
+                    moved += 1
+            yield from dsm.compute(step_cost * 0.2)
+            yield from dsm.barrier(2, participants=nprocs)
+            yield from dsm.barrier(1, participants=nprocs)

@@ -1,0 +1,14 @@
+"""Cluster/testbed model: nodes, CPU accounting, machine assembly.
+
+Models the paper's testbed (Section 3): 16 dual-processor SPARCstation
+20s (one processor used per node), Myrinet interconnect, and Typhoon-0
+fine-grain access-control hardware.  All cost constants live in
+:class:`~repro.cluster.config.MachineParams` and default to the values
+the paper reports.
+"""
+
+from repro.cluster.config import MachineParams, NotificationMechanism
+from repro.cluster.node import Cpu, Node
+from repro.cluster.machine import Machine
+
+__all__ = ["MachineParams", "NotificationMechanism", "Node", "Cpu", "Machine"]

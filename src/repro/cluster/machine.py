@@ -1,0 +1,106 @@
+"""Machine: wires engine, nodes, network, memory system, protocol and
+synchronization services into one simulated cluster.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.config import MachineParams
+from repro.cluster.node import Node
+from repro.memory.address_space import AddressSpace, Segment
+from repro.memory.blocks import BlockSpace
+from repro.memory.home import HomeTable
+from repro.net.message import Message
+from repro.net.myrinet import Network
+from repro.sim.engine import Engine
+from repro.stats.counters import Stats
+
+
+class Machine:
+    """One configured cluster ready to run a program.
+
+    Construction order matters only in that nodes receive a dispatch
+    callback bound to this machine; the protocol and sync services are
+    created last and resolved through ``self`` at dispatch time.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        protocol: str = "hlrc",
+        poll_dilation: float = 0.0,
+    ):
+        params.validate()
+        self.params = params
+        self.engine = Engine()
+        self.stats = Stats(params.n_nodes)
+        self.blockspace = BlockSpace(params.granularity)
+        self.space = AddressSpace()
+        self.home = HomeTable(params.n_nodes, params.granularity)
+        self.poll_dilation = poll_dilation
+        self.nodes: List[Node] = [
+            Node(i, self.engine, params, self.stats, self._dispatch, poll_dilation)
+            for i in range(params.n_nodes)
+        ]
+        self.network = Network(self.engine, params, self.stats, self._deliver)
+        # Imported lazily to avoid a cycle (protocols import memory/net).
+        from repro.core import make_protocol
+        from repro.sync import BarrierService, LockService
+
+        self.protocol = make_protocol(protocol, self)
+        self.locks = LockService(self)
+        self.barriers = BarrierService(self)
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: Message) -> None:
+        self.nodes[msg.dst].deliver(msg)
+
+    def _dispatch(self, node: Node, msg: Message) -> None:
+        t = msg.mtype
+        if t.startswith("lock_"):
+            self.locks.on_message(node, msg)
+        elif t.startswith("barrier_"):
+            self.barriers.on_message(node, msg)
+        else:
+            self.protocol.on_message(node, msg)
+
+    # ------------------------------------------------------------------
+    # setup-time helpers (pre-parallel phase, zero simulated cost)
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, name: str, align: Optional[int] = None) -> Segment:
+        if align is None:
+            return self.space.alloc(size, name)
+        return self.space.alloc(size, name, align=align)
+
+    def place(self, addr: int, size: int, node: int) -> None:
+        """Declarative first-touch placement of a region (see
+        HomeTable.place): models the home layout the application's
+        initialization phase would establish, including the access tags
+        the init-phase touches would leave behind."""
+        self.home.place_region(addr, size, node)
+        first = addr // self.params.granularity
+        last = (addr + size - 1) // self.params.granularity
+        for b in range(first, last + 1):
+            self.protocol.on_place(b, node)
+
+    def place_segment(self, seg: Segment, node: int) -> None:
+        self.place(seg.base, seg.size, node)
+
+    def init_data(self, addr: int, data) -> None:
+        """Write initial contents into the (current or static) home
+        copies, pre-parallel-phase (no simulated cost)."""
+        import numpy as np
+
+        data = np.asarray(data, dtype=np.uint8)
+        bs = self.blockspace
+        for block, off, roff, length in bs.block_slices(addr, len(data)):
+            home = self.home.home_or_static(block)
+            self.nodes[home].store.block(block)[off : off + length] = data[
+                roff : roff + length
+            ]
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.engine.run(until=until)

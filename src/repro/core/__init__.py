@@ -1,0 +1,34 @@
+"""The paper's primary contribution: the three coherence protocols.
+
+* :class:`~repro.core.sc.SCProtocol` -- sequential consistency
+  (Stache-style home-based directory with recall/invalidate).
+* :class:`~repro.core.swlrc.SWLRCProtocol` -- single-writer lazy
+  release consistency (versioned blocks, ownership migration, acquire-
+  time invalidation from write notices, one-hop read service).
+* :class:`~repro.core.hlrc.HLRCProtocol` -- home-based multiple-writer
+  lazy release consistency (twin/diff, eager flush to home at release,
+  whole-block fetch on miss).
+
+All three share the interval/vector-timestamp machinery in
+:mod:`repro.core.timestamps` (only the LRC protocols use it) and the
+message-routing/home-forwarding helpers in
+:mod:`repro.core.protocol`.
+"""
+
+from repro.core.protocol import PROTOCOLS, CoherenceProtocol, make_protocol
+from repro.core.sc import SCProtocol
+from repro.core.swlrc import SWLRCProtocol
+from repro.core.hlrc import HLRCProtocol
+from repro.core.delayed import DelayedSCProtocol
+from repro.core.erc import ERCProtocol
+
+__all__ = [
+    "CoherenceProtocol",
+    "SCProtocol",
+    "SWLRCProtocol",
+    "HLRCProtocol",
+    "DelayedSCProtocol",
+    "ERCProtocol",
+    "PROTOCOLS",
+    "make_protocol",
+]

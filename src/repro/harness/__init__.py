@@ -1,0 +1,8 @@
+"""Experiment harness: run configurations, sweep matrices, and the
+table/figure emitters that regenerate the paper's evaluation.
+"""
+
+from repro.harness.experiment import RunConfig, RunResult, run_experiment
+from repro.harness.matrix import SpeedupMatrix, sweep
+
+__all__ = ["RunConfig", "RunResult", "run_experiment", "sweep", "SpeedupMatrix"]

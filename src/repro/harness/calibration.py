@@ -1,0 +1,54 @@
+"""Calibration checks: Table 1 sequential times and the Section 3
+network microbenchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps import make_app
+from repro.cluster.config import MachineParams
+
+#: Table 1: benchmark, problem size label, sequential seconds
+TABLE1 = [
+    ("lu", "1024 x 1024", 73.41),
+    ("fft", "1M points", 27.257),
+    ("ocean-original", "514 x 514", 37.43),
+    ("water-nsquared", "4096 molecules, 3 steps", 575.283),
+    ("volrend-original", "128^2 head-scaleddown2", 4.493),
+    ("water-spatial", "4096 molecules, 5 steps", 898.454),
+    ("raytrace", "balls4", 343.76),
+    ("barnes-original", "16384 particles", 33.787),
+]
+
+#: Section 3 microbenchmark: message size -> measured round trip (us)
+MICROBENCH_ROUND_TRIPS = {4: 40.0, 64: 61.0, 256: 100.0, 1024: 256.0, 4096: 876.0}
+
+
+def table1_rows() -> List[Tuple[str, str, float, float, float]]:
+    """(app, size, paper_seconds, model_seconds, ratio) per benchmark."""
+    rows = []
+    for app_name, size, paper_s in TABLE1:
+        app = make_app(app_name, scale="full")
+        model_s = app.sequential_time_us() / 1e6
+        rows.append((app_name, size, paper_s, model_s, model_s / paper_s))
+    return rows
+
+
+def microbenchmark_rows(params: MachineParams = None) -> List[Tuple[int, float, float, float]]:
+    """(size, paper_rt, model_rt, ratio) per message size."""
+    p = params or MachineParams()
+    rows = []
+    for size, paper_rt in sorted(MICROBENCH_ROUND_TRIPS.items()):
+        model_rt = 2 * p.one_way_latency_us(size)
+        rows.append((size, paper_rt, model_rt, model_rt / paper_rt))
+    return rows
+
+
+def max_table1_error() -> float:
+    """Worst-case |ratio - 1| over Table 1 (used by tests)."""
+    return max(abs(r[4] - 1.0) for r in table1_rows())
+
+
+def max_microbench_error() -> float:
+    return max(abs(r[3] - 1.0) for r in microbenchmark_rows())

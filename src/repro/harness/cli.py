@@ -1,0 +1,218 @@
+"""Command-line interface: ``repro-dsm`` (or ``python -m repro.harness.cli``).
+
+Subcommands:
+
+* ``run`` -- one experiment, printing the stats summary.
+* ``figure1`` -- the full speedup matrix for the selected apps.
+* ``faults`` -- a Tables-3-13-style fault table for one application.
+* ``hm`` -- the Table 16/17 harmonic-mean statistics.
+* ``calibrate`` -- Table 1 and network-microbenchmark calibration.
+* ``classify`` -- the measured Table 2 classification.
+* ``report`` -- run the matrix and write a full markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APP_NAMES, ORIGINAL_8, VERSION_GROUPS, make_app
+from repro.cluster.config import GRANULARITIES, MachineParams
+from repro.harness.calibration import microbenchmark_rows, table1_rows
+from repro.harness.experiment import RunConfig, run_experiment
+from repro.harness.figures import figure1
+from repro.harness.matrix import PROTOCOLS, SpeedupMatrix, sweep
+from repro.harness.tables import fault_table, fmt_table, hm_table_text, speedup_table
+from repro.stats.relative_efficiency import best_version_speedups, hm_table
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="default", choices=["tiny", "default", "full"])
+    p.add_argument("--nprocs", type=int, default=16)
+    p.add_argument("--mechanism", default="polling", choices=["polling", "interrupt"])
+
+
+def cmd_run(args) -> int:
+    cfg = RunConfig(
+        app=args.app,
+        protocol=args.protocol,
+        granularity=args.granularity,
+        mechanism=args.mechanism,
+        nprocs=args.nprocs,
+        scale=args.scale,
+    )
+    result = run_experiment(cfg)
+    print(f"# {cfg.label()}")
+    for k, v in result.stats.summary().items():
+        print(f"{k:22s} {v}")
+    return 0
+
+
+def cmd_figure1(args) -> int:
+    apps = args.apps.split(",") if args.apps else APP_NAMES
+    results = sweep(
+        apps,
+        mechanism=args.mechanism,
+        scale=args.scale,
+        nprocs=args.nprocs,
+        progress=lambda s: print(f"  running {s}", file=sys.stderr),
+    )
+    print(speedup_table(results, apps, "Figure 1: speedups on 16 nodes"))
+    print()
+    print(figure1(results, apps))
+    return 0
+
+
+def cmd_faults(args) -> int:
+    results = sweep([args.app], mechanism=args.mechanism, scale=args.scale,
+                    nprocs=args.nprocs)
+    print(fault_table(results, args.app, f"Fault counts: {args.app}"))
+    return 0
+
+
+def cmd_hm(args) -> int:
+    apps = ORIGINAL_8 if args.which == "original" else APP_NAMES
+    results = sweep(apps, mechanism=args.mechanism, scale=args.scale,
+                    nprocs=args.nprocs)
+    matrix = SpeedupMatrix(results)
+    speedups = matrix.speedups()
+    if args.which == "best":
+        speedups = best_version_speedups(
+            speedups, VERSION_GROUPS, PROTOCOLS, GRANULARITIES
+        )
+        apps = list(VERSION_GROUPS)
+    hm = hm_table(speedups, apps, PROTOCOLS, GRANULARITIES)
+    title = (
+        "Table 16: HM of relative efficiency (original 8 applications)"
+        if args.which == "original"
+        else "Table 17: HM of relative efficiency (best versions)"
+    )
+    print(hm_table_text(hm, title))
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    rows = [
+        (a, s, f"{p:.2f}", f"{m:.2f}", f"{r:.3f}")
+        for a, s, p, m, r in table1_rows()
+    ]
+    print(fmt_table(
+        ["Benchmark", "Problem size", "Paper (s)", "Model (s)", "ratio"],
+        rows,
+        "Table 1 calibration",
+    ))
+    print()
+    rows = [
+        (f"{sz}B", f"{p:.1f}", f"{m:.1f}", f"{r:.3f}")
+        for sz, p, m, r in microbenchmark_rows()
+    ]
+    print(fmt_table(
+        ["Message", "Paper RT (us)", "Model RT (us)", "ratio"],
+        rows,
+        "Section 3 network microbenchmark",
+    ))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.cluster.machine import Machine
+    from repro.runtime.program import run_program
+    from repro.stats import classify, install_trace
+
+    rows = []
+    for name in APP_NAMES:
+        app = make_app(name, scale=args.scale)
+        m = Machine(
+            MachineParams(n_nodes=args.nprocs, granularity=1024), protocol="hlrc"
+        )
+        app.setup(m)
+        tr = install_trace(m)
+        run_program(m, app.program, nprocs=args.nprocs,
+                    sequential_time_us=app.sequential_time_us())
+        c = classify(tr, m.stats)
+        rows.append(
+            (
+                name,
+                c.writers,
+                c.access_grain,
+                f"{c.comp_per_sync_us / 1000:.2f}",
+                c.barriers,
+                c.sync_grain,
+                f"(paper: {app.writers}/{app.access_grain}/{app.sync_grain})",
+            )
+        )
+    print(fmt_table(
+        ["Application", "Writers", "Access", "Comp/Sync (ms)", "Barriers",
+         "Sync", "Paper says"],
+        rows,
+        "Table 2: measured classification",
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.harness.report import generate_report
+
+    apps = args.apps.split(",") if args.apps else None
+    text = generate_report(
+        scale=args.scale,
+        nprocs=args.nprocs,
+        apps=apps,
+        progress=lambda s: print(f"  running {s}", file=sys.stderr),
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="repro-dsm", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    from repro.core import PROTOCOLS as ALL_PROTOCOLS
+
+    p = sub.add_parser("run", help="run one experiment")
+    p.add_argument("app", choices=APP_NAMES)
+    p.add_argument("protocol", choices=sorted(ALL_PROTOCOLS))
+    p.add_argument("granularity", type=int, choices=list(GRANULARITIES))
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("figure1", help="speedup matrix")
+    p.add_argument("--apps", default=None, help="comma-separated app subset")
+    _add_common(p)
+    p.set_defaults(fn=cmd_figure1)
+
+    p = sub.add_parser("faults", help="fault table for one app")
+    p.add_argument("app", choices=APP_NAMES)
+    _add_common(p)
+    p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser("hm", help="Table 16/17 statistics")
+    p.add_argument("which", choices=["original", "best"])
+    _add_common(p)
+    p.set_defaults(fn=cmd_hm)
+
+    p = sub.add_parser("calibrate", help="Table 1 + microbenchmark calibration")
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("classify", help="measured Table 2 classification")
+    _add_common(p)
+    p.set_defaults(fn=cmd_classify)
+
+    p = sub.add_parser("report", help="full markdown reproduction report")
+    p.add_argument("--out", default=None, help="output file (default stdout)")
+    p.add_argument("--apps", default=None, help="comma-separated app subset")
+    _add_common(p)
+    p.set_defaults(fn=cmd_report)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""One experiment = one (application, protocol, granularity,
+mechanism) run of the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.apps import make_app
+from repro.apps.base import Application
+from repro.cluster.config import MachineParams, NotificationMechanism
+from repro.cluster.machine import Machine
+from repro.runtime.program import run_program
+from repro.stats.counters import Stats
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Identifies one cell of the evaluation matrix."""
+
+    app: str
+    protocol: str          # 'sc' | 'swlrc' | 'hlrc'
+    granularity: int       # 64 | 256 | 1024 | 4096
+    mechanism: str = "polling"   # 'polling' | 'interrupt'
+    nprocs: int = 16
+    scale: str = "default"
+
+    def label(self) -> str:
+        return (
+            f"{self.app}/{self.protocol}-{self.granularity}"
+            f"/{self.mechanism}/p{self.nprocs}"
+        )
+
+
+@dataclass
+class RunResult:
+    config: RunConfig
+    stats: Stats
+    app: Application
+    machine: Machine
+
+    @property
+    def speedup(self) -> float:
+        return self.stats.speedup
+
+
+def run_experiment(
+    cfg: RunConfig, max_events: Optional[int] = None, **app_overrides
+) -> RunResult:
+    """Build the machine, set the application up, run it, return stats."""
+    app = make_app(cfg.app, scale=cfg.scale, **app_overrides)
+    params = MachineParams(
+        n_nodes=cfg.nprocs,
+        granularity=cfg.granularity,
+        mechanism=NotificationMechanism(cfg.mechanism),
+    )
+    machine = Machine(params, protocol=cfg.protocol, poll_dilation=app.poll_dilation)
+    if max_events is not None:
+        machine.engine._max_events = max_events
+    app.setup(machine)
+    result = run_program(
+        machine,
+        app.program,
+        nprocs=cfg.nprocs,
+        sequential_time_us=app.sequential_time_us(),
+    )
+    return RunResult(config=cfg, stats=result.stats, app=app, machine=machine)

@@ -1,0 +1,88 @@
+"""ASCII "figures": speedup-vs-granularity series with bar rendering.
+
+The paper's Figure 1 (speedups for 12 applications x 3 protocols x 4
+granularities) and Figure 2 (LU and Water-Nsquared under the interrupt
+mechanism) are line/bar charts; we render the same series as aligned
+text so the benches can regenerate them in a terminal and EXPERIMENTS.md
+can embed them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cluster.config import GRANULARITIES
+from repro.harness.matrix import PROTOCOLS
+from repro.harness.tables import PROTO_LABEL
+
+BAR_WIDTH = 32
+
+
+def _bar(value: float, vmax: float) -> str:
+    if vmax <= 0:
+        return ""
+    n = int(round(BAR_WIDTH * value / vmax))
+    return "#" * max(0, min(BAR_WIDTH, n))
+
+
+def speedup_figure(
+    results: Dict,
+    app: str,
+    title: str = "",
+    max_speedup: float = 16.0,
+    mechanism: str = None,
+) -> str:
+    """One Figure-1 panel: bars for every protocol/granularity combo."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for proto in PROTOCOLS:
+        for g in GRANULARITIES:
+            val = None
+            for c, r in results.items():
+                if (c.app, c.protocol, c.granularity) == (app, proto, g) and (
+                    mechanism is None or c.mechanism == mechanism
+                ):
+                    val = r.speedup
+            if val is None:
+                lines.append(f"  {PROTO_LABEL[proto]:7s} {g:5d}    (missing)")
+            else:
+                lines.append(
+                    f"  {PROTO_LABEL[proto]:7s} {g:5d} {val:6.2f} |{_bar(val, max_speedup)}"
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure1(results: Dict, apps: Sequence[str]) -> str:
+    """The full Figure 1: one panel per application."""
+    panels = [
+        speedup_figure(results, app, title=f"--- {app} (speedup on 16 nodes) ---")
+        for app in apps
+    ]
+    return "\n".join(panels)
+
+
+def mechanism_comparison(
+    polling_results: Dict, interrupt_results: Dict, app: str
+) -> str:
+    """Figure 2 style: polling vs interrupt speedups side by side."""
+    lines = [f"--- {app}: polling vs interrupt ---"]
+    header = f"  {'Protocol':8s} {'gran':>5s} {'polling':>8s} {'interrupt':>9s} {'int/poll':>8s}"
+    lines.append(header)
+    for proto in PROTOCOLS:
+        for g in GRANULARITIES:
+            pv = iv = None
+            for c, r in polling_results.items():
+                if (c.app, c.protocol, c.granularity) == (app, proto, g):
+                    pv = r.speedup
+            for c, r in interrupt_results.items():
+                if (c.app, c.protocol, c.granularity) == (app, proto, g):
+                    iv = r.speedup
+            if pv is None or iv is None:
+                continue
+            ratio = iv / pv if pv else float("nan")
+            lines.append(
+                f"  {PROTO_LABEL[proto]:8s} {g:5d} {pv:8.2f} {iv:9.2f} {ratio:8.2f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Sweep helpers: run (app x protocol x granularity) matrices and
+collect speedups/fault counts, with a simple in-process cache so
+benchmarks sharing cells do not recompute them."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import GRANULARITIES
+from repro.harness.experiment import RunConfig, RunResult, run_experiment
+
+PROTOCOLS = ("sc", "swlrc", "hlrc")
+
+#: process-wide result cache keyed by RunConfig
+_CACHE: Dict[RunConfig, RunResult] = {}
+
+
+def cached_run(cfg: RunConfig, **overrides) -> RunResult:
+    if overrides:
+        return run_experiment(cfg)
+    hit = _CACHE.get(cfg)
+    if hit is None:
+        hit = run_experiment(cfg)
+        _CACHE[cfg] = hit
+    return hit
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def sweep(
+    apps: Sequence[str],
+    protocols: Sequence[str] = PROTOCOLS,
+    granularities: Sequence[int] = GRANULARITIES,
+    mechanism: str = "polling",
+    scale: str = "default",
+    nprocs: int = 16,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[RunConfig, RunResult]:
+    """Run the full matrix; returns config -> result."""
+    out: Dict[RunConfig, RunResult] = {}
+    for app in apps:
+        for proto in protocols:
+            for g in granularities:
+                cfg = RunConfig(
+                    app=app,
+                    protocol=proto,
+                    granularity=g,
+                    mechanism=mechanism,
+                    nprocs=nprocs,
+                    scale=scale,
+                )
+                if progress:
+                    progress(cfg.label())
+                out[cfg] = cached_run(cfg)
+    return out
+
+
+class SpeedupMatrix:
+    """Convenience view over sweep results for the HM statistics."""
+
+    def __init__(self, results: Dict[RunConfig, RunResult]):
+        self.results = results
+
+    def speedups(self) -> Dict[Tuple[str, str, int], float]:
+        return {
+            (c.app, c.protocol, c.granularity): r.speedup
+            for c, r in self.results.items()
+        }
+
+    def best_combination(self, app: str) -> Tuple[str, int, float]:
+        best = None
+        for c, r in self.results.items():
+            if c.app != app:
+                continue
+            if best is None or r.speedup > best[2]:
+                best = (c.protocol, c.granularity, r.speedup)
+        if best is None:
+            raise KeyError(app)
+        return best
+
+    def speedup(self, app: str, protocol: str, granularity: int) -> float:
+        for c, r in self.results.items():
+            if (c.app, c.protocol, c.granularity) == (app, protocol, granularity):
+                return r.speedup
+        raise KeyError((app, protocol, granularity))

@@ -1,0 +1,99 @@
+"""ASCII table/series emitters matching the paper's presentation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.config import GRANULARITIES
+from repro.harness.experiment import RunResult
+from repro.harness.matrix import PROTOCOLS
+
+PROTO_LABEL = {"sc": "SC", "swlrc": "SW-LRC", "hlrc": "HLRC"}
+
+
+def fmt_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    widths = [len(str(h)) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fault_table(
+    results: Dict, app: str, title: str
+) -> str:
+    """Per-app read/write fault table in the style of Tables 3-13."""
+    rows: List[List] = []
+    for kind, attr in (("Read", "read_faults"), ("Write", "write_faults")):
+        for proto in PROTOCOLS:
+            row = [kind if proto == "sc" else "", PROTO_LABEL[proto]]
+            for g in GRANULARITIES:
+                val = "-"
+                for c, r in results.items():
+                    if (c.app, c.protocol, c.granularity) == (app, proto, g):
+                        val = getattr(r.stats, attr)
+                row.append(val)
+            rows.append(row)
+    return fmt_table(
+        ["Fault", "Protocol"] + [str(g) for g in GRANULARITIES], rows, title
+    )
+
+
+def speedup_table(results: Dict, apps: Sequence[str], title: str) -> str:
+    """Figure-1-style speedup grid, one row per protocol/granularity."""
+    rows = []
+    for app in apps:
+        for proto in PROTOCOLS:
+            row = [app, PROTO_LABEL[proto]]
+            for g in GRANULARITIES:
+                val = "-"
+                for c, r in results.items():
+                    if (c.app, c.protocol, c.granularity) == (app, proto, g):
+                        val = f"{r.speedup:.2f}"
+                row.append(val)
+            rows.append(row)
+    return fmt_table(
+        ["Application", "Protocol"] + [str(g) for g in GRANULARITIES], rows, title
+    )
+
+
+def hm_table_text(hm: Dict[str, Dict[str, float]], title: str) -> str:
+    """Render the Table 16/17 HM grids."""
+    headers = ["Protocol"] + [str(g) for g in GRANULARITIES] + ["g_best"]
+    rows = []
+    for proto in list(PROTOCOLS) + ["p_best"]:
+        if proto not in hm:
+            continue
+        label = PROTO_LABEL.get(proto, proto)
+        row = [label]
+        for col in [str(g) for g in GRANULARITIES] + ["g_best"]:
+            v = hm[proto].get(col)
+            row.append("-" if v is None else f"{v:.3f}")
+        rows.append(row)
+    return fmt_table(headers, rows, title)
+
+
+def traffic_table(results: Dict, app: str, title: str) -> str:
+    """Data-traffic table (Table 15 discussion)."""
+    rows = []
+    for proto in PROTOCOLS:
+        row = [PROTO_LABEL[proto]]
+        for g in GRANULARITIES:
+            val = "-"
+            for c, r in results.items():
+                if (c.app, c.protocol, c.granularity) == (app, proto, g):
+                    val = f"{r.stats.data_traffic_bytes / 1e6:.2f}"
+            row.append(val)
+        rows.append(row)
+    return fmt_table(
+        ["Protocol"] + [f"{g} (MB)" for g in GRANULARITIES], rows, title
+    )

@@ -1,0 +1,23 @@
+"""Shared-memory substrate: address space, blocks, access-control tags,
+per-node backing stores, and the home directory with first-touch
+migration (paper Section 2).
+"""
+
+from repro.memory.blocks import BlockSpace
+from repro.memory.address_space import AddressSpace, Segment
+from repro.memory.access_control import INV, RO, RW, AccessControl, tag_name
+from repro.memory.storage import NodeStore
+from repro.memory.home import HomeTable
+
+__all__ = [
+    "BlockSpace",
+    "AddressSpace",
+    "Segment",
+    "AccessControl",
+    "INV",
+    "RO",
+    "RW",
+    "tag_name",
+    "NodeStore",
+    "HomeTable",
+]

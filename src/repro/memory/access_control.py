@@ -1,0 +1,70 @@
+"""The Typhoon-0 fine-grain access-control model.
+
+The Typhoon-0 card tags every coherence block with one of three access
+levels and raises a fast exception (~5 us) when a load or store
+violates the tag.  We keep one tag table per node; the default state of
+every block is INVALID, so a node's first touch always faults -- which
+is what triggers demand mapping and first-touch home assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+#: access tags, ordered by permission
+INV = 0  #: no access -- any load or store faults
+RO = 1   #: read-only -- stores fault
+RW = 2   #: read-write -- no faults
+
+_NAMES = {INV: "INV", RO: "RO", RW: "RW"}
+
+
+def tag_name(tag: int) -> str:
+    return _NAMES[tag]
+
+
+class AccessControl:
+    """Per-node block tag table (one instance per node)."""
+
+    __slots__ = ("_tags",)
+
+    def __init__(self) -> None:
+        self._tags: Dict[int, int] = {}
+
+    def tag(self, block: int) -> int:
+        return self._tags.get(block, INV)
+
+    def permits(self, block: int, write: bool) -> bool:
+        """Does the current tag allow the access (no fault)?"""
+        t = self._tags.get(block, INV)
+        return t == RW or (t == RO and not write)
+
+    def set_tag(self, block: int, tag: int) -> None:
+        if tag not in _NAMES:
+            raise ValueError(f"bad tag {tag}")
+        if tag == INV:
+            # Keep the table sparse: INVALID is the default.
+            self._tags.pop(block, None)
+        else:
+            self._tags[block] = tag
+
+    def invalidate(self, block: int) -> bool:
+        """Drop to INVALID.  Returns True if the block had any access."""
+        return self._tags.pop(block, None) is not None
+
+    def downgrade(self, block: int) -> bool:
+        """RW -> RO (used when SC recalls an exclusive copy for a read).
+
+        Returns True if the block was RW.
+        """
+        if self._tags.get(block) == RW:
+            self._tags[block] = RO
+            return True
+        return False
+
+    def blocks_with_access(self) -> Iterator[Tuple[int, int]]:
+        """All (block, tag) pairs with non-INVALID tags."""
+        return iter(self._tags.items())
+
+    def __len__(self) -> int:
+        return len(self._tags)

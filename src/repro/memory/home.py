@@ -1,0 +1,115 @@
+"""Home assignment with first-touch migration (paper Section 2).
+
+Each block has a *home* node.  Blocks start out statically assigned
+(round-robin by page over the nodes).  "After the beginning of an
+application's parallel phase, page homes migrate to the first node that
+touches them"; a touch is a load or store for SC, a store for HLRC.
+When another node later touches an already-migrated block it sends its
+request to the static home, learns the new home from the forward, and
+caches it.
+
+Two paths exist:
+
+* :meth:`place` -- setup-time declarative placement used by the
+  applications to mirror the first-touch layout their SPLASH-2
+  counterparts establish during initialization (zero simulated cost,
+  happens before timing starts).
+* :meth:`claim_first_touch` -- runtime migration for blocks nobody
+  pre-placed; the protocol charges a control round trip to the static
+  home when the claimer is remote.
+
+The per-node ``cached`` map models the "distributed table ... cached in
+a local table" of Section 2; a request routed through a stale entry
+costs one forwarding hop, which the protocols count in
+``stats.forwarded_requests``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.config import PAGE_SIZE
+
+
+class HomeTable:
+    """Tracks the home node of every block plus per-node caches."""
+
+    def __init__(self, n_nodes: int, granularity: int):
+        self.n_nodes = n_nodes
+        self.granularity = granularity
+        self.blocks_per_page = max(1, PAGE_SIZE // granularity)
+        #: authoritative home per block (None until touched/placed)
+        self._home: Dict[int, int] = {}
+        #: per-node cached home hints
+        self._cached: List[Dict[int, int]] = [dict() for _ in range(n_nodes)]
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    # static assignment
+    # ------------------------------------------------------------------
+    def static_home(self, block: int) -> int:
+        """Initial static owner: pages round-robin across nodes.
+
+        All blocks of one page share a static home, matching a
+        page-grained initial distribution of the address space.
+        """
+        page = (block * self.granularity) // PAGE_SIZE
+        return page % self.n_nodes
+
+    # ------------------------------------------------------------------
+    # authoritative state
+    # ------------------------------------------------------------------
+    def home(self, block: int) -> Optional[int]:
+        """The current home, or None if the block was never touched."""
+        return self._home.get(block)
+
+    def home_or_static(self, block: int) -> int:
+        h = self._home.get(block)
+        return self.static_home(block) if h is None else h
+
+    def is_claimed(self, block: int) -> bool:
+        return block in self._home
+
+    def place(self, block: int, node: int) -> None:
+        """Setup-time placement (no cost, models init-phase first touch)."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"bad node {node}")
+        self._home[block] = node
+
+    def place_region(self, addr: int, size: int, node: int) -> None:
+        first = addr // self.granularity
+        last = (addr + size - 1) // self.granularity
+        for b in range(first, last + 1):
+            self._home[b] = node
+
+    def claim_first_touch(self, block: int, node: int) -> bool:
+        """Runtime first-touch migration.
+
+        Returns True if this call performed the migration (the caller
+        then charges the claim message cost); False if the block already
+        has a home.
+        """
+        if block in self._home:
+            return False
+        self._home[block] = node
+        if node != self.static_home(block):
+            self.migrations += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # per-node cached hints
+    # ------------------------------------------------------------------
+    def cached_home(self, node: int, block: int) -> Optional[int]:
+        return self._cached[node].get(block)
+
+    def learn(self, node: int, block: int, home: int) -> None:
+        self._cached[node][block] = home
+
+    def route_target(self, node: int, block: int) -> int:
+        """Where this node sends a request for ``block``.
+
+        The cached hint if present, else the static home.  The receiver
+        forwards if it is not the current home.
+        """
+        hint = self._cached[node].get(block)
+        return self.static_home(block) if hint is None else hint

@@ -1,0 +1,88 @@
+"""Per-node backing stores holding real block contents.
+
+Every node caches blocks of the shared address space in local memory;
+the contents are real ``numpy`` byte arrays so that the HLRC twin/diff
+machinery operates on actual data and the correctness tests can verify
+that values written on one node are the values read on another.
+
+Blocks materialize lazily, zero-filled -- the DSM's initial contents.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+
+class NodeStore:
+    """One node's local copies of coherence blocks."""
+
+    __slots__ = ("granularity", "_blocks")
+
+    def __init__(self, granularity: int):
+        self.granularity = granularity
+        self._blocks: Dict[int, np.ndarray] = {}
+
+    def block(self, block_id: int) -> np.ndarray:
+        """The local copy of a block, created zero-filled on demand."""
+        buf = self._blocks.get(block_id)
+        if buf is None:
+            buf = np.zeros(self.granularity, dtype=np.uint8)
+            self._blocks[block_id] = buf
+        return buf
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    def install(self, block_id: int, data: np.ndarray) -> None:
+        """Overwrite the local copy with fetched contents."""
+        if data.shape != (self.granularity,):
+            raise ValueError(
+                f"block data shape {data.shape} != granularity {self.granularity}"
+            )
+        self.block(block_id)[:] = data
+
+    def snapshot(self, block_id: int) -> np.ndarray:
+        """An independent copy of the block (twin creation, messaging)."""
+        return self.block(block_id).copy()
+
+    def drop(self, block_id: int) -> None:
+        """Free the local copy (memory-pressure modeling; optional)."""
+        self._blocks.pop(block_id, None)
+
+    # ------------------------------------------------------------------
+    # region I/O across block boundaries
+    # ------------------------------------------------------------------
+    def read_region(self, addr: int, size: int) -> np.ndarray:
+        """Copy ``size`` bytes starting at ``addr`` out of local copies."""
+        g = self.granularity
+        out = np.empty(size, dtype=np.uint8)
+        end = addr + size
+        pos = addr
+        while pos < end:
+            block = pos // g
+            off = pos - block * g
+            length = min(g - off, end - pos)
+            out[pos - addr : pos - addr + length] = self.block(block)[off : off + length]
+            pos += length
+        return out
+
+    def write_region(self, addr: int, data: np.ndarray) -> None:
+        """Copy ``data`` into local copies starting at ``addr``."""
+        g = self.granularity
+        size = len(data)
+        end = addr + size
+        pos = addr
+        while pos < end:
+            block = pos // g
+            off = pos - block * g
+            length = min(g - off, end - pos)
+            self.block(block)[off : off + length] = data[pos - addr : pos - addr + length]
+            pos += length
+
+    def blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        return iter(self._blocks.items())
+
+    def __len__(self) -> int:
+        return len(self._blocks)

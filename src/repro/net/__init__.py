@@ -1,0 +1,8 @@
+"""Myrinet-like interconnect model: messages, NIC/latency model, and
+the three-crossbar topology of the paper's testbed.
+"""
+
+from repro.net.message import CONTROL_BYTES, HEADER_BYTES, Message
+from repro.net.myrinet import Network
+
+__all__ = ["Message", "Network", "HEADER_BYTES", "CONTROL_BYTES"]

@@ -1,0 +1,62 @@
+"""Protocol messages.
+
+A message carries its own handler cost (set by the sending protocol
+code, since the sender knows the message semantics) and an optional
+in-simulation ``reply_to`` future used to correlate request/response
+pairs without explicit transaction tables -- the future object travels
+with the request, comes back inside the reply payload, and is resolved
+by the receiver-side handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sim.process import Future
+
+#: bytes of header on every message (routing, type, block id)
+HEADER_BYTES = 16
+#: payload bytes of a plain control message (request, ack, invalidation)
+CONTROL_BYTES = 8
+
+
+@dataclass(slots=True)
+class Message:
+    """One network message."""
+
+    src: int
+    dst: int
+    mtype: str
+    size_bytes: int
+    block: int = -1
+    payload: Any = None
+    #: CPU time the receiver's handler consumes
+    handle_cost_us: float = 3.0
+    #: future resolved by the receiver (request/response correlation)
+    reply_to: Optional[Future] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < HEADER_BYTES:
+            self.size_bytes = HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Msg {self.mtype} {self.src}->{self.dst} "
+            f"block={self.block} {self.size_bytes}B>"
+        )
+
+
+def control_size() -> int:
+    """Wire size of a small control message."""
+    return HEADER_BYTES + CONTROL_BYTES
+
+
+def data_size(granularity: int) -> int:
+    """Wire size of a whole-block data message."""
+    return HEADER_BYTES + granularity
+
+
+def notice_size(n_notices: int) -> int:
+    """Wire size of a write-notice batch (8 bytes per notice)."""
+    return HEADER_BYTES + 8 * n_notices

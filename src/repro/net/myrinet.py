@@ -1,0 +1,72 @@
+"""The interconnect: latency model, sender-NIC serialization, topology.
+
+Latency model (fit to the paper's Section 3 microbenchmark)::
+
+    arrival = depart + base(size) + per_byte * size + hops * hop_cost
+
+where ``depart`` respects sender-NIC occupancy: a node injecting
+back-to-back messages serializes them at the NIC streaming rate
+(~17 MB/s for large transfers).  Receiver-side notification delay is
+NOT part of the network -- the destination :class:`~repro.cluster.node.Node`
+adds it according to the polling/interrupt mechanism.
+
+Messages from a node to itself (the home happens to be local) bypass
+the wire entirely: they are delivered after a small fixed delay and are
+counted separately (``stats.local_msgs``), never as network traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.cluster.config import MachineParams, hops_between
+from repro.net.message import Message
+from repro.sim.engine import Engine
+
+#: delivery delay for node-local protocol transactions (a function call
+#: plus queue manipulation, not a wire crossing)
+LOCAL_DELIVERY_US = 0.5
+
+
+class Network:
+    """Connects the nodes; delivers messages with modeled latency."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: MachineParams,
+        stats,
+        deliver: Callable[[Message], None],
+    ):
+        self.engine = engine
+        self.params = params
+        self.stats = stats
+        self._deliver = deliver
+        #: per-node time at which the NIC becomes free to inject
+        self._nic_free: List[float] = [0.0] * params.n_nodes
+
+    def send(self, msg: Message) -> None:
+        """Inject a message; schedules its delivery at the destination."""
+        if not (0 <= msg.src < self.params.n_nodes):
+            raise ValueError(f"bad src {msg.src}")
+        if not (0 <= msg.dst < self.params.n_nodes):
+            raise ValueError(f"bad dst {msg.dst}")
+
+        now = self.engine.now
+        if msg.src == msg.dst:
+            self.stats.local_msgs += 1
+            self.engine.schedule(LOCAL_DELIVERY_US, self._deliver, msg)
+            return
+
+        self.stats.record_message(msg.mtype, msg.size_bytes)
+
+        p = self.params
+        start = max(now, self._nic_free[msg.src])
+        self._nic_free[msg.src] = start + p.nic_occupancy_us(msg.size_bytes)
+        latency = p.one_way_latency_us(msg.size_bytes)
+        latency += hops_between(msg.src, msg.dst) * p.switch_hop_us
+        self.engine.schedule(start + latency - now, self._deliver, msg)
+
+    def nic_free_at(self, node: int) -> float:
+        """When the node's NIC can next inject (diagnostics/tests)."""
+        return self._nic_free[node]

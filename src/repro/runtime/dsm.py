@@ -1,0 +1,138 @@
+"""Per-node DSM handle: the API surface applications use.
+
+Access model
+------------
+Applications issue *region* reads and writes.  The runtime decomposes a
+region into coherence blocks and, per block, checks the Typhoon-0
+access tag; a miss raises the 5 us fault exception and enters the
+protocol.  The check-and-copy for each block is atomic with respect to
+protocol handlers (no yield between the final tag check and the byte
+copy), and is retried if a recall/steal races the fault reply -- the
+exact semantics of a hardware store replaying after access is granted.
+
+A region operation therefore produces the same per-block fault sequence
+per-word instrumented code would, at region-op cost.  See DESIGN.md for
+why this substitution is the one that keeps a Python reproduction
+feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+import numpy as np
+
+from repro.cluster.machine import Machine
+
+
+class Dsm:
+    """A node-local view of the shared memory system."""
+
+    __slots__ = ("machine", "node", "params", "_bs", "_protocol", "_stats")
+
+    def __init__(self, machine: Machine, node_id: int):
+        self.machine = machine
+        self.node = machine.nodes[node_id]
+        self.params = machine.params
+        self._bs = machine.blockspace
+        self._protocol = machine.protocol
+        self._stats = machine.stats
+
+    @property
+    def node_id(self) -> int:
+        return self.node.id
+
+    @property
+    def now(self) -> float:
+        return self.machine.engine.now
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def compute(self, us: float) -> Generator:
+        """Model ``us`` microseconds of local computation."""
+        yield from self.node.compute(us)
+
+    # ------------------------------------------------------------------
+    # shared-memory access
+    # ------------------------------------------------------------------
+    def _ensure(self, block: int, write: bool) -> Generator:
+        node = self.node
+        p = self.params
+        while not node.access.permits(block, write):
+            # Fault exception dispatch + requester-side protocol entry.
+            # (Fault counting happens inside the protocols, which
+            # distinguish real coherence faults from cheap node-local
+            # tag re-opens -- the paper's tables only count the former.)
+            yield p.fault_exception_us + p.handler_base_us
+            if write:
+                yield from self._protocol.write_fault(node, block)
+            else:
+                yield from self._protocol.read_fault(node, block)
+            # Loop: re-check the tag -- the grant may have been stolen
+            # by a recall/transfer that raced our reply (the hardware
+            # analogue is the store replay after TLB/tag update).
+
+    def read(self, addr: int, size: int) -> Generator:
+        """Read ``size`` bytes at ``addr``; returns a uint8 array."""
+        node = self.node
+        trace = getattr(self.machine, "trace", None)
+        if trace is not None:
+            trace.record_region(size, write=False)
+        out = np.empty(size, dtype=np.uint8)
+        for block, off, roff, length in self._bs.block_slices(addr, size):
+            yield from self._ensure(block, write=False)
+            out[roff : roff + length] = node.store.block(block)[off : off + length]
+        return out
+
+    def write(self, addr: int, data: Union[np.ndarray, bytes]) -> Generator:
+        """Write bytes at ``addr`` through the coherence protocol."""
+        node = self.node
+        trace = getattr(self.machine, "trace", None)
+        if trace is not None:
+            trace.record_region(len(data), write=True)
+        data = np.asarray(
+            np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray))
+            else data,
+            dtype=np.uint8,
+        )
+        for block, off, roff, length in self._bs.block_slices(addr, len(data)):
+            yield from self._ensure(block, write=True)
+            node.store.block(block)[off : off + length] = data[roff : roff + length]
+
+    def touch_read(self, addr: int, size: int) -> Generator:
+        """Ensure read access to a region without materializing bytes
+        (used by apps that only need the access-pattern effects)."""
+        trace = getattr(self.machine, "trace", None)
+        if trace is not None:
+            trace.record_region(size, write=False)
+        for block in self._bs.blocks_in_region(addr, size):
+            yield from self._ensure(block, write=False)
+
+    def touch_write(self, addr: int, size: int, *, pattern: int = -1) -> Generator:
+        """Ensure write access to a region and dirty it.
+
+        ``pattern`` >= 0 additionally writes that byte value into the
+        region so HLRC diffs are non-empty (performance apps vary the
+        pattern per iteration to model real data changing).
+        """
+        node = self.node
+        trace = getattr(self.machine, "trace", None)
+        if trace is not None:
+            trace.record_region(size, write=True)
+        for block, off, roff, length in self._bs.block_slices(addr, size):
+            yield from self._ensure(block, write=True)
+            if pattern >= 0:
+                node.store.block(block)[off : off + length] = pattern & 0xFF
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def acquire(self, lock_id: int) -> Generator:
+        yield from self.machine.locks.acquire(self.node, lock_id)
+
+    def release(self, lock_id: int) -> Generator:
+        yield from self.machine.locks.release(self.node, lock_id)
+
+    def barrier(self, barrier_id: int, participants: Optional[int] = None) -> Generator:
+        yield from self.machine.barriers.barrier(self.node, barrier_id, participants)

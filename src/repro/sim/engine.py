@@ -1,0 +1,156 @@
+"""The discrete-event loop.
+
+The engine maintains a priority queue of ``(time, sequence, callback)``
+entries.  Ties in time are broken by insertion order (the ``sequence``
+counter), which makes every simulation fully deterministic: two runs of
+the same configuration produce bit-identical event orderings, fault
+counts, and timings.  Determinism is essential for the reproduction --
+the paper's tables are exact fault counts, and we want our own tables to
+be exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside the simulation (deadlock,
+    event-budget exhaustion, scheduling into the past)."""
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is implemented by flagging, not by removing from the
+    heap (removal from the middle of a binary heap is O(n)); the event
+    loop skips flagged entries when it pops them.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent t={self.time:.3f} seq={self.seq} {state} {self.fn!r}>"
+
+
+class Engine:
+    """Deterministic discrete-event loop with time in microseconds."""
+
+    def __init__(self, *, max_events: int = 200_000_000):
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._queue: list[ScheduledEvent] = []
+        self._max_events = max_events
+        self._events_run = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Total number of callbacks executed so far (for diagnostics)."""
+        return self._events_run
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` to run ``delay`` microseconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback
+        after all callbacks already scheduled for the current instant
+        (FIFO within an instant).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        ev = ScheduledEvent(self._now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        return self.schedule(time - self._now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or until time ``until``).
+
+        Returns the final simulation time.  Raises
+        :class:`SimulationError` if the event budget is exhausted, which
+        almost always indicates a protocol livelock.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue:
+                ev = heapq.heappop(queue)
+                if ev.cancelled:
+                    continue
+                if until is not None and ev.time > until:
+                    # Put it back; we stopped early.
+                    heapq.heappush(queue, ev)
+                    self._now = until
+                    return self._now
+                self._now = ev.time
+                self._events_run += 1
+                if self._events_run > self._max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({self._max_events} events); "
+                        "likely protocol livelock"
+                    )
+                ev.fn(*ev.args)
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Run a single event.  Returns False when the queue is empty."""
+        queue = self._queue
+        while queue:
+            ev = heapq.heappop(queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_run += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine t={self._now:.3f}us pending={len(self._queue)}>"

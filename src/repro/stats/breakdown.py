@@ -1,0 +1,83 @@
+"""Execution-time breakdown reporting.
+
+The paper's analysis constantly reasons about *where the time goes* --
+"more than 50% of the total execution time" in Barnes-Original's extra
+locks, ">35% of the time spent on barrier synchronization" in
+Barnes-Spatial under SC-64.  This module turns the per-node counters
+into that breakdown: compute, fault stall, lock stall, barrier stall,
+and handler (protocol CPU) time, normalized per node and averaged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.stats.counters import Stats
+
+#: breakdown categories, in display order
+CATEGORIES = ("compute", "fault", "lock", "barrier", "handler", "other")
+
+
+@dataclass
+class Breakdown:
+    """Average per-node time split for one run (fractions sum to 1)."""
+
+    fractions: Dict[str, float]
+    total_us: float
+
+    def __getitem__(self, key: str) -> float:
+        return self.fractions[key]
+
+    def dominant(self) -> str:
+        return max(self.fractions, key=self.fractions.get)
+
+    def bar(self, width: int = 50) -> str:
+        """Render as a labeled ASCII stacked bar."""
+        symbols = {"compute": "=", "fault": "f", "lock": "L",
+                   "barrier": "B", "handler": "h", "other": "."}
+        out = []
+        for cat in CATEGORIES:
+            n = int(round(self.fractions[cat] * width))
+            out.append(symbols[cat] * n)
+        return "".join(out)[:width]
+
+
+def breakdown(stats: Stats, nprocs: int = None) -> Breakdown:
+    """Compute the average time breakdown over the participating nodes.
+
+    ``other`` absorbs whatever the explicit counters do not cover
+    (send overheads, tag changes, twin/diff compute charged as plain
+    sleeps, residual wait).
+    """
+    n = nprocs if nprocs is not None else stats.n_nodes
+    total = stats.parallel_time_us * n
+    if total <= 0:
+        raise ValueError("run has no parallel time")
+    nodes = stats.nodes[:n]
+    sums = {
+        "compute": sum(x.compute_us for x in nodes),
+        "fault": sum(x.fault_wait_us for x in nodes),
+        "lock": sum(x.lock_wait_us for x in nodes),
+        "barrier": sum(x.barrier_wait_us for x in nodes),
+        "handler": sum(x.handler_us for x in nodes),
+    }
+    other = max(0.0, total - sum(sums.values()))
+    sums["other"] = other
+    denom = max(total, sum(sums.values()))
+    return Breakdown(
+        fractions={k: v / denom for k, v in sums.items()},
+        total_us=total,
+    )
+
+
+def breakdown_table(rows: List[tuple]) -> str:
+    """Format ``(label, Breakdown)`` rows as an aligned text table."""
+    header = f"{'configuration':28s} " + " ".join(
+        f"{c:>8s}" for c in CATEGORIES
+    )
+    lines = [header, "-" * len(header)]
+    for label, bd in rows:
+        cells = " ".join(f"{bd[c] * 100:7.1f}%" for c in CATEGORIES)
+        lines.append(f"{label:28s} {cells}")
+    return "\n".join(lines)

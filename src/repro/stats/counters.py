@@ -1,0 +1,193 @@
+"""Run-level counters.
+
+Everything the paper's tables report is derived from these counters:
+
+* read/write fault counts (Tables 3-13),
+* message counts and data traffic in bytes (Table 15 discussion),
+* diff/twin/invalidation/write-notice activity (Section 5.2 analysis),
+* per-node time breakdown (compute, fault wait, lock wait, barrier
+  wait, handler time) used for the synchronization-cost analysis.
+
+Counters are plain integers/floats in dictionaries -- cheap to update
+from the hot path and trivially aggregated.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting."""
+
+    node_id: int
+    read_faults: int = 0
+    write_faults: int = 0
+    #: cheap node-local tag re-opens (home writing home memory, an
+    #: owner re-opening after a release-time write-protect); the paper's
+    #: fault tables do not count these
+    local_reopens: int = 0
+    compute_us: float = 0.0
+    fault_wait_us: float = 0.0
+    lock_wait_us: float = 0.0
+    barrier_wait_us: float = 0.0
+    handler_us: float = 0.0
+    lock_acquires: int = 0
+    barriers: int = 0
+
+    @property
+    def sync_wait_us(self) -> float:
+        return self.lock_wait_us + self.barrier_wait_us
+
+
+class Stats:
+    """Aggregated counters for one simulation run."""
+
+    def __init__(self, n_nodes: int):
+        self.n_nodes = n_nodes
+        self.nodes = [NodeStats(i) for i in range(n_nodes)]
+        #: messages by type -> count
+        self.msg_count: Counter = Counter()
+        #: messages by type -> total bytes on the wire
+        self.msg_bytes: Counter = Counter()
+        #: node-local protocol "messages" (home == self); no wire traffic
+        self.local_msgs: int = 0
+        self.diffs_created: int = 0
+        self.diff_bytes: int = 0
+        self.diffs_applied: int = 0
+        self.twins_created: int = 0
+        self.invalidations: int = 0
+        self.write_notices_sent: int = 0
+        self.write_notices_applied: int = 0
+        self.home_migrations: int = 0
+        self.forwarded_requests: int = 0
+        self.writebacks: int = 0
+        #: wall-clock simulation time of the timed parallel section
+        self.parallel_time_us: float = 0.0
+        #: modeled single-node execution time of the same work
+        self.sequential_time_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    # recording helpers
+    # ------------------------------------------------------------------
+    def record_message(self, mtype: str, size_bytes: int) -> None:
+        self.msg_count[mtype] += 1
+        self.msg_bytes[mtype] += size_bytes
+
+    def record_read_fault(self, node: int) -> None:
+        self.nodes[node].read_faults += 1
+
+    def record_write_fault(self, node: int) -> None:
+        self.nodes[node].write_faults += 1
+
+    def record_local_reopen(self, node: int) -> None:
+        self.nodes[node].local_reopens += 1
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    @property
+    def read_faults(self) -> int:
+        return sum(n.read_faults for n in self.nodes)
+
+    @property
+    def write_faults(self) -> int:
+        return sum(n.write_faults for n in self.nodes)
+
+    @property
+    def local_reopens(self) -> int:
+        return sum(n.local_reopens for n in self.nodes)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.msg_count.values())
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return sum(self.msg_bytes.values())
+
+    @property
+    def data_traffic_bytes(self) -> int:
+        """Bytes moved in data-carrying messages (block data and diffs)."""
+        return sum(
+            b
+            for t, b in self.msg_bytes.items()
+            if t
+            in (
+                "read_reply",
+                "write_reply",
+                "fetch_reply",
+                "rread_reply",
+                "own_reply",
+                "data",
+                "diff",
+                "writeback",
+            )
+        )
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_time_us <= 0:
+            return 0.0
+        return self.sequential_time_us / self.parallel_time_us
+
+    @property
+    def total_compute_us(self) -> float:
+        return sum(n.compute_us for n in self.nodes)
+
+    @property
+    def total_lock_acquires(self) -> int:
+        return sum(n.lock_acquires for n in self.nodes)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary used by the harness report writers."""
+        return {
+            "read_faults": self.read_faults,
+            "write_faults": self.write_faults,
+            "local_reopens": self.local_reopens,
+            "messages": self.total_messages,
+            "traffic_bytes": self.total_traffic_bytes,
+            "data_traffic_bytes": self.data_traffic_bytes,
+            "diffs_created": self.diffs_created,
+            "diff_bytes": self.diff_bytes,
+            "twins_created": self.twins_created,
+            "invalidations": self.invalidations,
+            "write_notices": self.write_notices_sent,
+            "lock_acquires": self.total_lock_acquires,
+            "parallel_time_us": self.parallel_time_us,
+            "sequential_time_us": self.sequential_time_us,
+            "speedup": self.speedup,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Stats rf={self.read_faults} wf={self.write_faults} "
+            f"msgs={self.total_messages} speedup={self.speedup:.2f}>"
+        )
+
+
+def memory_utilization(machine) -> Dict[str, float]:
+    """Memory footprint of the protocol state at the end of a run --
+    the Section 7 limitation "we have not examined the memory
+    utilization of different protocol and granularity combinations".
+
+    Returns bytes of cached block copies, twins, and the replication
+    factor (total cached bytes / distinct shared bytes touched).
+    """
+    g = machine.params.granularity
+    cached_blocks = sum(len(n.store) for n in machine.nodes)
+    distinct = len({b for n in machine.nodes for b, _ in n.store.blocks()})
+    twin_bytes = 0
+    twins = getattr(machine.protocol, "twins", None)
+    if twins is not None:
+        twin_bytes = sum(len(t) for t in twins) * g
+    cached_bytes = cached_blocks * g
+    return {
+        "cached_bytes": float(cached_bytes),
+        "twin_bytes": float(twin_bytes),
+        "distinct_bytes": float(distinct * g),
+        "replication_factor": cached_bytes / (distinct * g) if distinct else 0.0,
+    }

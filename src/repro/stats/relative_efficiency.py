@@ -1,0 +1,125 @@
+"""Relative-efficiency statistics of Section 5.5 (Tables 16 and 17).
+
+For an application ``a``, protocol ``p`` and granularity ``g``::
+
+    RE(a, p, g) = speedup(a, p, g) / MAX(a)
+
+where ``MAX(a)`` is the best speedup over all combinations for ``a``.
+``HM`` is the harmonic mean of RE over the application set.  The paper
+also reports, per protocol, the HM obtained when the *best granularity
+is chosen per application* (``g_best``) and, per granularity, the HM
+when the *best protocol is chosen per application* (``p_best``).
+
+Table 17 repeats the computation but lets each (protocol, granularity)
+cell pick the best-performing *version* of each application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+#: speedups[(app, protocol, granularity)] = speedup
+SpeedupTable = Mapping[Tuple[str, str, int], float]
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("harmonic mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        # A zero speedup would make HM zero; guard against bad input.
+        raise ValueError("harmonic mean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def relative_efficiency(
+    speedups: SpeedupTable,
+    apps: Sequence[str],
+    protocols: Sequence[str],
+    granularities: Sequence[int],
+) -> Dict[Tuple[str, str, int], float]:
+    """RE(a,p,g) for every combination present in *speedups*."""
+    out: Dict[Tuple[str, str, int], float] = {}
+    for a in apps:
+        best = max(
+            speedups[(a, p, g)]
+            for p in protocols
+            for g in granularities
+            if (a, p, g) in speedups
+        )
+        for p in protocols:
+            for g in granularities:
+                key = (a, p, g)
+                if key in speedups:
+                    out[key] = speedups[key] / best
+    return out
+
+
+def hm_table(
+    speedups: SpeedupTable,
+    apps: Sequence[str],
+    protocols: Sequence[str],
+    granularities: Sequence[int],
+) -> Dict[str, Dict[str, float]]:
+    """Compute the full Table 16/17 grid.
+
+    Returns ``{protocol: {str(g): HM, ..., 'g_best': HM}}`` plus a
+    ``'p_best'`` row ``{str(g): HM, 'g_best': HM}``.  Missing cells
+    (the paper's disk-swapping gaps) are simply excluded per-app.
+    """
+    re = relative_efficiency(speedups, apps, protocols, granularities)
+
+    table: Dict[str, Dict[str, float]] = {}
+    for p in protocols:
+        row: Dict[str, float] = {}
+        for g in granularities:
+            cells = [re[(a, p, g)] for a in apps if (a, p, g) in re]
+            if cells:
+                row[str(g)] = harmonic_mean(cells)
+        # g_best: per application, the best granularity for this protocol
+        best_cells = []
+        for a in apps:
+            per_g = [re[(a, p, g)] for g in granularities if (a, p, g) in re]
+            if per_g:
+                best_cells.append(max(per_g))
+        row["g_best"] = harmonic_mean(best_cells)
+        table[p] = row
+
+    p_best_row: Dict[str, float] = {}
+    for g in granularities:
+        best_cells = []
+        for a in apps:
+            per_p = [re[(a, p, g)] for p in protocols if (a, p, g) in re]
+            if per_p:
+                best_cells.append(max(per_p))
+        if best_cells:
+            p_best_row[str(g)] = harmonic_mean(best_cells)
+    # best protocol AND best granularity per app => RE = 1 by definition
+    p_best_row["g_best"] = 1.0
+    table["p_best"] = p_best_row
+    return table
+
+
+def best_version_speedups(
+    speedups: SpeedupTable,
+    version_groups: Mapping[str, Sequence[str]],
+    protocols: Sequence[str],
+    granularities: Sequence[int],
+) -> Dict[Tuple[str, str, int], float]:
+    """Collapse application versions for the Table 17 computation.
+
+    ``version_groups`` maps a canonical application name (e.g.
+    ``"barnes"``) to the list of version names present in *speedups*.
+    For each (protocol, granularity) cell, the best version's speedup is
+    taken, per the paper's redefinition of RE in Section 5.5.
+    """
+    out: Dict[Tuple[str, str, int], float] = {}
+    for canon, versions in version_groups.items():
+        for p in protocols:
+            for g in granularities:
+                cells = [
+                    speedups[(v, p, g)] for v in versions if (v, p, g) in speedups
+                ]
+                if cells:
+                    out[(canon, p, g)] = max(cells)
+    return out

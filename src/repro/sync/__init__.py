@@ -1,0 +1,12 @@
+"""Synchronization: distributed lock managers and barriers.
+
+Both services piggyback protocol coherence actions through the
+protocol's sync hooks (write notices under the LRC protocols; nothing
+under SC -- which is why the paper finds synchronization "much cheaper
+in SC since [it does] not involve protocol activity").
+"""
+
+from repro.sync.locks import LockService
+from repro.sync.barriers import BarrierService
+
+__all__ = ["LockService", "BarrierService"]

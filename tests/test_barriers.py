@@ -1,0 +1,115 @@
+"""Tests for the barrier service."""
+
+import pytest
+
+from repro import Machine, MachineParams, run_program
+
+PROTOCOLS = ["sc", "swlrc", "hlrc", "dc", "erc"]
+
+
+def make(protocol="sc", n=4):
+    return Machine(MachineParams(n_nodes=n, granularity=1024), protocol=protocol)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_barrier_waits_for_all(protocol):
+    m = make(protocol)
+    release_times = []
+
+    def program(dsm, rank, nprocs):
+        yield from dsm.compute(100.0 * (rank + 1))
+        yield from dsm.barrier(0, participants=nprocs)
+        release_times.append(dsm.now)
+
+    run_program(m, program, nprocs=4)
+    # Nobody is released before the slowest arrival (rank 3 at ~400us).
+    assert min(release_times) > 400.0
+    # All released within a short broadcast window of each other.
+    assert max(release_times) - min(release_times) < 200.0
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_barrier_reusable_across_episodes(protocol):
+    m = make(protocol)
+    counts = []
+
+    def program(dsm, rank, nprocs):
+        for it in range(5):
+            yield from dsm.barrier(7, participants=nprocs)
+        counts.append(1)
+
+    r = run_program(m, program, nprocs=4)
+    assert len(counts) == 4
+    assert all(n.barriers == 5 for n in r.stats.nodes[:4])
+
+
+def test_two_distinct_barriers_do_not_interfere():
+    m = make()
+    log = []
+
+    def program(dsm, rank, nprocs):
+        if rank < 2:
+            yield from dsm.barrier(1, participants=2)
+            log.append(("b1", rank, dsm.now))
+        else:
+            yield from dsm.compute(1000.0)
+            yield from dsm.barrier(2, participants=2)
+            log.append(("b2", rank, dsm.now))
+
+    run_program(m, program, nprocs=4)
+    b1 = [t for tag, _, t in log if tag == "b1"]
+    b2 = [t for tag, _, t in log if tag == "b2"]
+    assert max(b1) < min(b2)
+
+
+def test_subset_barrier():
+    m = make(n=8)
+
+    def program(dsm, rank, nprocs):
+        yield from dsm.barrier(0, participants=nprocs)
+        return rank
+
+    r = run_program(m, program, nprocs=3)
+    assert r.results == [0, 1, 2]
+
+
+def test_barrier_manager_distribution():
+    m = make(n=4)
+    assert m.barriers.manager_of(0) == 0
+    assert m.barriers.manager_of(6) == 2
+
+
+def test_lrc_barrier_carries_notices():
+    """Under HLRC a barrier release propagates write notices; under SC
+    it does not."""
+    applied = {}
+    for proto in ("sc", "hlrc"):
+        m = Machine(MachineParams(n_nodes=4, granularity=256), protocol=proto)
+        seg = m.alloc(4096, "x")
+        m.place(seg.base, 4096, 0)
+
+        def program(dsm, rank, nprocs):
+            if rank == 1:
+                yield from dsm.touch_write(seg.base, 1024, pattern=7)
+            yield from dsm.barrier(0, participants=nprocs)
+            yield from dsm.touch_read(seg.base, 1024)
+            yield from dsm.barrier(0, participants=nprocs)
+
+        r = run_program(m, program, nprocs=4)
+        applied[proto] = r.stats.write_notices_applied
+    assert applied["hlrc"] > 0
+    assert applied["sc"] == 0
+
+
+def test_barrier_wait_time_accounted():
+    m = make()
+
+    def program(dsm, rank, nprocs):
+        if rank == 0:
+            yield from dsm.compute(10_000.0)
+        yield from dsm.barrier(0, participants=nprocs)
+
+    r = run_program(m, program, nprocs=2)
+    # Rank 1 waited ~10ms for rank 0.
+    assert r.stats.nodes[1].barrier_wait_us > 8000.0
+    assert r.stats.nodes[0].barrier_wait_us < 2000.0

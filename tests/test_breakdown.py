@@ -1,0 +1,82 @@
+"""Tests for the execution-time breakdown reporting."""
+
+import pytest
+
+from repro.stats.breakdown import CATEGORIES, Breakdown, breakdown, breakdown_table
+from repro.stats.counters import Stats
+
+
+def make_stats(n=2, parallel=1000.0, compute=600.0, fault=100.0, lock=50.0,
+               barrier=150.0, handler=20.0):
+    stats = Stats(n)
+    stats.parallel_time_us = parallel
+    for node in stats.nodes:
+        node.compute_us = compute
+        node.fault_wait_us = fault
+        node.lock_wait_us = lock
+        node.barrier_wait_us = barrier
+        node.handler_us = handler
+    return stats
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        bd = breakdown(make_stats())
+        assert sum(bd.fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_match_inputs(self):
+        bd = breakdown(make_stats())
+        assert bd["compute"] == pytest.approx(0.6)
+        assert bd["fault"] == pytest.approx(0.1)
+        assert bd["barrier"] == pytest.approx(0.15)
+        assert bd["other"] == pytest.approx(0.08)
+
+    def test_dominant(self):
+        assert breakdown(make_stats()).dominant() == "compute"
+        assert breakdown(
+            make_stats(compute=10.0, barrier=900.0)
+        ).dominant() == "barrier"
+
+    def test_zero_parallel_time_rejected(self):
+        with pytest.raises(ValueError):
+            breakdown(make_stats(parallel=0.0))
+
+    def test_oversubscribed_counters_normalize(self):
+        """If counters exceed wall time (overlap), fractions still sum
+        to <= 1 via renormalization."""
+        bd = breakdown(make_stats(compute=2000.0))
+        assert sum(bd.fractions.values()) <= 1.0 + 1e-9
+
+    def test_subset_of_nodes(self):
+        stats = make_stats(n=4)
+        stats.nodes[3].compute_us = 0.0
+        bd = breakdown(stats, nprocs=2)
+        assert bd.total_us == 2000.0
+
+    def test_bar_render(self):
+        bar = breakdown(make_stats()).bar(width=20)
+        assert len(bar) <= 20
+        assert "=" in bar
+
+    def test_table_render(self):
+        bd = breakdown(make_stats())
+        txt = breakdown_table([("lu/sc-64", bd)])
+        assert "lu/sc-64" in txt
+        for cat in CATEGORIES:
+            assert cat in txt
+
+
+class TestBreakdownOnRealRun:
+    def test_compute_bound_program(self):
+        from repro import Machine, MachineParams, run_program
+
+        m = Machine(MachineParams(n_nodes=2, granularity=1024), protocol="sc")
+
+        def program(dsm, rank, nprocs):
+            yield from dsm.compute(10_000.0)
+            yield from dsm.barrier(0, participants=nprocs)
+
+        r = run_program(m, program, nprocs=2)
+        bd = breakdown(r.stats, nprocs=2)
+        assert bd.dominant() == "compute"
+        assert bd["compute"] > 0.9

@@ -1,0 +1,103 @@
+"""Tests for the machine cost model and topology (paper Section 3)."""
+
+import pytest
+
+from repro.cluster.config import (
+    GRANULARITIES,
+    PAGE_SIZE,
+    MachineParams,
+    NotificationMechanism,
+    hops_between,
+    switch_of,
+)
+
+
+def test_default_params_validate():
+    MachineParams().validate()
+
+
+@pytest.mark.parametrize("g", GRANULARITIES)
+def test_all_paper_granularities_validate(g):
+    MachineParams(granularity=g).validate()
+
+
+def test_bad_granularity_rejected():
+    with pytest.raises(ValueError):
+        MachineParams(granularity=100).validate()
+
+
+def test_zero_nodes_rejected():
+    with pytest.raises(ValueError):
+        MachineParams(n_nodes=0).validate()
+
+
+def test_granularities_divide_page():
+    for g in GRANULARITIES:
+        assert PAGE_SIZE % g == 0
+
+
+class TestMicrobenchmarkFit:
+    """The latency model must reproduce the paper's measured round
+    trips (40/61/100/256/876 us for 4/64/256/1024/4096 bytes) within
+    ~10%."""
+
+    PAPER_ROUND_TRIPS = {4: 40.0, 64: 61.0, 256: 100.0, 1024: 256.0, 4096: 876.0}
+
+    @pytest.mark.parametrize("size,rt", sorted(PAPER_ROUND_TRIPS.items()))
+    def test_round_trip_within_10_percent(self, size, rt):
+        p = MachineParams()
+        model_rt = 2 * p.one_way_latency_us(size)
+        assert abs(model_rt - rt) / rt < 0.10, (size, model_rt, rt)
+
+    def test_latency_monotonic_in_size(self):
+        p = MachineParams()
+        lats = [p.one_way_latency_us(s) for s in (4, 64, 256, 1024, 4096)]
+        assert lats == sorted(lats)
+
+    def test_large_message_bandwidth_about_17MBps(self):
+        # NIC streaming occupancy models the paper's ~17 MB/s.
+        p = MachineParams()
+        bw = 1.0 / p.nic_occupancy_per_byte_us  # bytes/us == MB/s
+        assert 15.0 < bw < 19.0
+
+
+class TestTopology:
+    def test_sixteen_nodes_on_three_switches(self):
+        switches = {switch_of(i) for i in range(16)}
+        assert switches == {0, 1, 2}
+
+    def test_at_most_six_hosts_per_switch(self):
+        from collections import Counter
+
+        counts = Counter(switch_of(i) for i in range(16))
+        assert max(counts.values()) <= 6
+
+    def test_hops_symmetric(self):
+        for a in range(16):
+            for b in range(16):
+                assert hops_between(a, b) == hops_between(b, a)
+
+    def test_hops_zero_same_switch(self):
+        assert hops_between(0, 5) == 0
+
+    def test_hops_two_for_extreme_switches(self):
+        assert hops_between(0, 15) == 2
+
+
+class TestCostRelations:
+    """Sanity relations between cost constants the analysis relies on."""
+
+    def test_interrupt_much_more_expensive_than_poll(self):
+        p = MachineParams()
+        assert p.interrupt_us > 10 * p.poll_round_trip_us
+
+    def test_fault_exception_is_5us(self):
+        assert MachineParams().fault_exception_us == 5.0
+
+    def test_small_control_message_cheaper(self):
+        p = MachineParams()
+        assert p.one_way_latency_us(8) < p.one_way_latency_us(64)
+
+    def test_mechanism_enum_values(self):
+        assert NotificationMechanism.POLLING.value == "polling"
+        assert NotificationMechanism.INTERRUPT.value == "interrupt"

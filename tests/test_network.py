@@ -1,0 +1,108 @@
+"""Tests for the network model and message plumbing."""
+
+import pytest
+
+from repro.cluster.config import MachineParams
+from repro.net.message import (
+    CONTROL_BYTES,
+    HEADER_BYTES,
+    Message,
+    control_size,
+    data_size,
+    notice_size,
+)
+from repro.net.myrinet import LOCAL_DELIVERY_US, Network
+from repro.sim.engine import Engine
+from repro.stats.counters import Stats
+
+
+def make_net(n=4):
+    eng = Engine()
+    params = MachineParams(n_nodes=n)
+    stats = Stats(n)
+    delivered = []
+    net = Network(eng, params, stats, delivered.append)
+    return eng, params, stats, net, delivered
+
+
+class TestMessage:
+    def test_minimum_size_is_header(self):
+        msg = Message(src=0, dst=1, mtype="x", size_bytes=2)
+        assert msg.size_bytes == HEADER_BYTES
+
+    def test_size_helpers(self):
+        assert control_size() == HEADER_BYTES + CONTROL_BYTES
+        assert data_size(4096) == HEADER_BYTES + 4096
+        assert notice_size(3) == HEADER_BYTES + 24
+        assert notice_size(0) == HEADER_BYTES
+
+
+class TestNetwork:
+    def test_delivery_latency_matches_model(self):
+        eng, params, stats, net, delivered = make_net()
+        msg = Message(src=0, dst=1, mtype="t", size_bytes=64)
+        net.send(msg)
+        eng.run()
+        expected = params.one_way_latency_us(64)
+        assert eng.now == pytest.approx(expected)
+        assert delivered == [msg]
+
+    def test_switch_hops_add_latency(self):
+        eng, params, stats, net, delivered = make_net(n=16)
+        # Distinct senders so NIC occupancy does not skew the compare.
+        near = Message(src=0, dst=2, mtype="t", size_bytes=64)
+        far = Message(src=1, dst=15, mtype="t", size_bytes=64)
+        times = {}
+        net._deliver = lambda m: times.__setitem__(m.dst, eng.now)
+        net.send(near)
+        net.send(far)
+        eng.run()
+        # Two inter-switch hops for switch 0 -> switch 2.
+        assert times[15] > times[2]
+        assert times[15] - times[2] == pytest.approx(2 * params.switch_hop_us)
+
+    def test_sender_nic_serializes_back_to_back(self):
+        eng, params, stats, net, delivered = make_net()
+        times = []
+        net._deliver = lambda m: times.append(eng.now)
+        for _ in range(3):
+            net.send(Message(src=0, dst=1, mtype="t", size_bytes=4096))
+        eng.run()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Consecutive big messages are spaced by NIC occupancy.
+        for gap in gaps:
+            assert gap == pytest.approx(params.nic_occupancy_us(4096))
+
+    def test_local_message_bypasses_wire(self):
+        eng, params, stats, net, delivered = make_net()
+        msg = Message(src=2, dst=2, mtype="t", size_bytes=4096)
+        net.send(msg)
+        eng.run()
+        assert eng.now == pytest.approx(LOCAL_DELIVERY_US)
+        assert stats.local_msgs == 1
+        assert stats.total_messages == 0
+
+    def test_traffic_accounting(self):
+        eng, params, stats, net, delivered = make_net()
+        net.send(Message(src=0, dst=1, mtype="data", size_bytes=100))
+        net.send(Message(src=0, dst=1, mtype="ctrl", size_bytes=24))
+        eng.run()
+        assert stats.msg_count["data"] == 1
+        assert stats.msg_bytes["data"] == 100
+        assert stats.total_traffic_bytes == 124
+
+    def test_bad_destination_rejected(self):
+        eng, params, stats, net, delivered = make_net()
+        with pytest.raises(ValueError):
+            net.send(Message(src=0, dst=99, mtype="t", size_bytes=24))
+        with pytest.raises(ValueError):
+            net.send(Message(src=-1, dst=0, mtype="t", size_bytes=24))
+
+    def test_small_messages_faster_than_big(self):
+        eng, params, stats, net, _ = make_net()
+        times = {}
+        net._deliver = lambda m: times.__setitem__(m.mtype, eng.now)
+        net.send(Message(src=0, dst=1, mtype="big", size_bytes=4096))
+        net.send(Message(src=2, dst=1, mtype="small", size_bytes=24))
+        eng.run()
+        assert times["small"] < times["big"]

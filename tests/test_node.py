@@ -1,0 +1,211 @@
+"""Tests for the node model: CPU debt accounting and notification
+mechanisms."""
+
+import pytest
+
+from repro.cluster.config import MachineParams, NotificationMechanism
+from repro.cluster.node import BLOCKED, COMPUTE, IDLE, Node
+from repro.net.message import Message
+from repro.sim.engine import Engine
+from repro.sim.process import Future, Process
+from repro.stats.counters import Stats
+
+
+def make_node(mechanism=NotificationMechanism.POLLING, poll_dilation=0.0,
+              handler=None):
+    eng = Engine()
+    params = MachineParams(n_nodes=2, mechanism=mechanism)
+    stats = Stats(2)
+    handled = []
+    node = Node(
+        0, eng, params, stats,
+        handler or (lambda n, m: handled.append((eng.now, m))),
+        poll_dilation,
+    )
+    return eng, params, stats, node, handled
+
+
+class TestCompute:
+    def test_compute_advances_time(self):
+        eng, params, stats, node, _ = make_node()
+        done = []
+
+        def prog():
+            yield from node.compute(100.0)
+            done.append(eng.now)
+
+        Process(eng, prog())
+        eng.run()
+        assert done == [100.0]
+        assert stats.nodes[0].compute_us == 100.0
+
+    def test_poll_dilation_stretches_compute(self):
+        eng, params, stats, node, _ = make_node(poll_dilation=0.55)
+        done = []
+
+        def prog():
+            yield from node.compute(100.0)
+            done.append(eng.now)
+
+        Process(eng, prog())
+        eng.run()
+        assert done == [pytest.approx(155.0)]
+
+    def test_interrupt_mechanism_has_no_dilation(self):
+        eng, params, stats, node, _ = make_node(
+            mechanism=NotificationMechanism.INTERRUPT, poll_dilation=0.55
+        )
+        done = []
+
+        def prog():
+            yield from node.compute(100.0)
+            done.append(eng.now)
+
+        Process(eng, prog())
+        eng.run()
+        assert done == [pytest.approx(100.0)]
+
+    def test_handler_steals_cycles_from_compute(self):
+        """A handler arriving mid-compute extends the compute segment
+        by its cost (debt accounting)."""
+        eng, params, stats, node, handled = make_node()
+        done = []
+
+        def prog():
+            yield from node.compute(100.0)
+            done.append(eng.now)
+
+        Process(eng, prog())
+        msg = Message(src=1, dst=0, mtype="x", size_bytes=24, handle_cost_us=20.0)
+        eng.schedule(50.0, node.deliver, msg)
+        eng.run()
+        # 100us of work + 20us stolen by the handler.
+        assert done[0] == pytest.approx(120.0)
+
+    def test_zero_compute_is_noop(self):
+        eng, params, stats, node, _ = make_node()
+
+        def prog():
+            yield from node.compute(0.0)
+            return eng.now
+
+        p = Process(eng, prog())
+        eng.run()
+        assert p.result == 0.0
+
+    def test_negative_compute_rejected(self):
+        eng, params, stats, node, _ = make_node()
+
+        def prog():
+            yield from node.compute(-1.0)
+
+        Process(eng, prog())
+        with pytest.raises(Exception):
+            eng.run()
+
+
+class TestNotification:
+    def test_polling_delay_while_computing(self):
+        eng, params, stats, node, handled = make_node()
+
+        def prog():
+            yield from node.compute(1000.0)
+
+        Process(eng, prog())
+        msg = Message(src=1, dst=0, mtype="x", size_bytes=24, handle_cost_us=3.0)
+        eng.schedule(100.0, node.deliver, msg)
+        eng.run()
+        t = handled[0][0]
+        expected = 100.0 + params.poll_backedge_gap_us + params.poll_round_trip_us + 3.0
+        assert t == pytest.approx(expected)
+
+    def test_interrupt_delay_while_computing(self):
+        eng, params, stats, node, handled = make_node(
+            mechanism=NotificationMechanism.INTERRUPT
+        )
+
+        def prog():
+            yield from node.compute(1000.0)
+
+        Process(eng, prog())
+        msg = Message(src=1, dst=0, mtype="x", size_bytes=24, handle_cost_us=3.0)
+        eng.schedule(100.0, node.deliver, msg)
+        eng.run()
+        assert handled[0][0] == pytest.approx(100.0 + params.interrupt_us + 3.0)
+
+    def test_blocked_node_polls_fast_under_both_mechanisms(self):
+        for mech in NotificationMechanism:
+            eng, params, stats, node, handled = make_node(mechanism=mech)
+            fut = Future(eng)
+
+            def prog():
+                yield from node.wait(fut, "fault_wait_us")
+
+            Process(eng, prog())
+            msg = Message(src=1, dst=0, mtype="x", size_bytes=24,
+                          handle_cost_us=3.0)
+            eng.schedule(10.0, node.deliver, msg)
+            eng.schedule(1000.0, fut.resolve, None)
+            eng.run()
+            assert handled[0][0] == pytest.approx(
+                10.0 + params.blocked_poll_us + 3.0
+            ), mech
+
+    def test_handlers_serialize_on_one_cpu(self):
+        eng, params, stats, node, handled = make_node()
+        for k in range(3):
+            msg = Message(src=1, dst=0, mtype=f"m{k}", size_bytes=24,
+                          handle_cost_us=10.0)
+            eng.schedule(5.0, node.deliver, msg)
+        eng.run()
+        times = [t for t, _ in handled]
+        assert times[1] - times[0] == pytest.approx(10.0)
+        assert times[2] - times[1] == pytest.approx(10.0)
+
+    def test_handler_time_accounted(self):
+        eng, params, stats, node, handled = make_node()
+        msg = Message(src=1, dst=0, mtype="x", size_bytes=24, handle_cost_us=7.5)
+        eng.schedule(0.0, node.deliver, msg)
+        eng.run()
+        assert stats.nodes[0].handler_us == 7.5
+
+
+class TestWaitAccounting:
+    def test_wait_time_attributed_to_kind(self):
+        eng, params, stats, node, _ = make_node()
+        fut = Future(eng)
+
+        def prog():
+            yield from node.wait(fut, "lock_wait_us")
+
+        Process(eng, prog())
+        eng.schedule(42.0, fut.resolve, None)
+        eng.run()
+        assert stats.nodes[0].lock_wait_us == pytest.approx(42.0)
+        assert stats.nodes[0].fault_wait_us == 0.0
+
+    def test_wait_returns_value(self):
+        eng, params, stats, node, _ = make_node()
+        fut = Future(eng)
+
+        def prog():
+            v = yield from node.wait(fut, "fault_wait_us")
+            return v
+
+        p = Process(eng, prog())
+        eng.schedule(1.0, fut.resolve, "data!")
+        eng.run()
+        assert p.result == "data!"
+
+    def test_state_transitions(self):
+        eng, params, stats, node, _ = make_node()
+        states = []
+
+        def prog():
+            states.append(node.cpu.state)
+            yield from node.compute(10.0)
+            states.append(node.cpu.state)
+
+        Process(eng, prog())
+        eng.run()
+        assert states == [IDLE, IDLE]

@@ -1,0 +1,123 @@
+"""Tests for the Section 5.5 relative-efficiency statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.relative_efficiency import (
+    best_version_speedups,
+    harmonic_mean,
+    hm_table,
+    relative_efficiency,
+)
+
+PROTOS = ["sc", "swlrc", "hlrc"]
+GRANS = [64, 256, 1024, 4096]
+
+
+def table_for(apps, fn):
+    return {
+        (a, p, g): fn(a, p, g) for a in apps for p in PROTOS for g in GRANS
+    }
+
+
+class TestHarmonicMean:
+    def test_basic(self):
+        assert harmonic_mean([1.0, 1.0]) == 1.0
+        assert harmonic_mean([0.5, 1.0]) == pytest.approx(2 / 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_hm_at_most_arithmetic_mean(self, xs):
+        hm = harmonic_mean(xs)
+        assert hm <= sum(xs) / len(xs) + 1e-9
+        assert min(xs) - 1e-9 <= hm <= max(xs) + 1e-9
+
+
+class TestRelativeEfficiency:
+    def test_best_combination_gets_one(self):
+        speedups = table_for(["a"], lambda a, p, g: 2.0 if (p, g) == ("hlrc", 4096) else 1.0)
+        re = relative_efficiency(speedups, ["a"], PROTOS, GRANS)
+        assert re[("a", "hlrc", 4096)] == 1.0
+        assert re[("a", "sc", 64)] == 0.5
+
+    def test_all_values_in_unit_interval(self):
+        speedups = table_for(["a", "b"], lambda a, p, g: g / 64 + (0 if a == "a" else 3))
+        re = relative_efficiency(speedups, ["a", "b"], PROTOS, GRANS)
+        assert all(0 < v <= 1.0 for v in re.values())
+
+    def test_missing_cells_skipped(self):
+        speedups = table_for(["a"], lambda a, p, g: 1.0)
+        del speedups[("a", "sc", 64)]
+        re = relative_efficiency(speedups, ["a"], PROTOS, GRANS)
+        assert ("a", "sc", 64) not in re
+
+
+class TestHMTable:
+    def test_p_best_g_best_is_one(self):
+        speedups = table_for(["a", "b"], lambda a, p, g: 1.0 + GRANS.index(g))
+        hm = hm_table(speedups, ["a", "b"], PROTOS, GRANS)
+        assert hm["p_best"]["g_best"] == 1.0
+
+    def test_g_best_at_least_any_fixed_granularity(self):
+        speedups = table_for(
+            ["a", "b", "c"],
+            lambda a, p, g: 1.0 + (hash((a, p, g)) % 7) / 10.0,
+        )
+        hm = hm_table(speedups, ["a", "b", "c"], PROTOS, GRANS)
+        for p in PROTOS:
+            for g in GRANS:
+                assert hm[p]["g_best"] >= hm[p][str(g)] - 1e-9
+
+    def test_uniform_speedups_give_uniform_re(self):
+        speedups = table_for(["a"], lambda a, p, g: 5.0)
+        hm = hm_table(speedups, ["a"], PROTOS, GRANS)
+        for p in PROTOS:
+            for g in GRANS:
+                assert hm[p][str(g)] == pytest.approx(1.0)
+
+    def test_paper_structure_sc_collapse(self):
+        """Construct a matrix shaped like the paper's: SC great at fine
+        grain, terrible at 4096; HLRC the reverse -- HM reflects it."""
+
+        def fn(a, p, g):
+            if p == "sc":
+                return {64: 8.0, 256: 9.0, 1024: 7.0, 4096: 2.0}[g]
+            if p == "hlrc":
+                return {64: 4.0, 256: 6.0, 1024: 8.5, 4096: 9.0}[g]
+            return {64: 4.0, 256: 6.0, 1024: 6.5, 4096: 5.0}[g]
+
+        speedups = table_for(["a", "b"], fn)
+        hm = hm_table(speedups, ["a", "b"], PROTOS, GRANS)
+        assert hm["sc"]["4096"] < 0.3
+        assert hm["hlrc"]["4096"] > 0.9
+
+
+class TestBestVersionSpeedups:
+    def test_picks_max_per_cell(self):
+        speedups = {}
+        for g in GRANS:
+            for p in PROTOS:
+                speedups[("app-v1", p, g)] = 1.0
+                speedups[("app-v2", p, g)] = 2.0 if p == "hlrc" else 0.5
+        best = best_version_speedups(
+            speedups, {"app": ["app-v1", "app-v2"]}, PROTOS, GRANS
+        )
+        assert best[("app", "hlrc", 64)] == 2.0
+        assert best[("app", "sc", 64)] == 1.0
+
+    def test_missing_versions_tolerated(self):
+        speedups = {("v1", "sc", 64): 3.0}
+        best = best_version_speedups(speedups, {"app": ["v1", "v2"]},
+                                     PROTOS, GRANS)
+        assert best[("app", "sc", 64)] == 3.0
+        assert ("app", "sc", 256) not in best

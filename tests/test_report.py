@@ -1,0 +1,48 @@
+"""Tests for the markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.harness.matrix import clear_cache
+from repro.harness.report import generate_report
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_report_subset_contains_sections():
+    text = generate_report(scale="tiny", nprocs=4, apps=["lu", "fft"])
+    assert "# Reproduction report" in text
+    assert "Table 1: sequential times" in text
+    assert "Section 3 microbenchmark" in text
+    assert "Figure 1: speedups" in text
+    assert "lu" in text and "fft" in text
+    assert "Headline claims" in text
+    # Partial app set: no Table 17 (needs all versions).
+    assert "Table 17" not in text
+
+
+def test_report_includes_hm_when_enough_originals():
+    text = generate_report(
+        scale="tiny", nprocs=4,
+        apps=["lu", "fft", "ocean-original", "water-nsquared"],
+        fault_apps=["lu"],
+    )
+    assert "Table 16" in text
+    assert "g_best" in text
+
+
+def test_report_cli_writes_file(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    out = tmp_path / "report.md"
+    rc = main([
+        "report", "--scale", "tiny", "--nprocs", "4",
+        "--apps", "lu", "--out", str(out),
+    ])
+    assert rc == 0
+    assert out.exists()
+    assert "# Reproduction report" in out.read_text()

@@ -1,0 +1,150 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_time_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_events_run_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(5.0, order.append, "b")
+    eng.schedule(1.0, order.append, "a")
+    eng.schedule(9.0, order.append, "c")
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 9.0
+
+
+def test_ties_broken_fifo():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(3.0, order.append, i)
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_zero_delay_runs_after_current_instant_fifo():
+    eng = Engine()
+    order = []
+
+    def first():
+        order.append("first")
+        eng.schedule(0.0, order.append, "nested")
+
+    eng.schedule(1.0, first)
+    eng.schedule(1.0, order.append, "second")
+    eng.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-1.0, lambda: None)
+
+
+def test_cancel_prevents_execution():
+    eng = Engine()
+    hits = []
+    ev = eng.schedule(1.0, hits.append, 1)
+    eng.schedule(2.0, hits.append, 2)
+    ev.cancel()
+    eng.run()
+    assert hits == [2]
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    eng.run()
+
+
+def test_run_until_stops_early_and_preserves_events():
+    eng = Engine()
+    hits = []
+    eng.schedule(1.0, hits.append, 1)
+    eng.schedule(10.0, hits.append, 2)
+    eng.run(until=5.0)
+    assert hits == [1]
+    assert eng.now == 5.0
+    eng.run()
+    assert hits == [1, 2]
+    assert eng.now == 10.0
+
+
+def test_run_until_advances_clock_even_with_empty_queue():
+    eng = Engine()
+    eng.run(until=42.0)
+    assert eng.now == 42.0
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    hits = []
+    eng.schedule_at(7.5, hits.append, "x")
+    eng.run()
+    assert eng.now == 7.5
+    assert hits == ["x"]
+
+
+def test_event_budget_detects_livelock():
+    eng = Engine(max_events=100)
+
+    def ping():
+        eng.schedule(1.0, ping)
+
+    eng.schedule(0.0, ping)
+    with pytest.raises(SimulationError, match="event budget"):
+        eng.run()
+
+
+def test_step_runs_one_event():
+    eng = Engine()
+    hits = []
+    eng.schedule(1.0, hits.append, 1)
+    eng.schedule(2.0, hits.append, 2)
+    assert eng.step()
+    assert hits == [1]
+    assert eng.step()
+    assert hits == [1, 2]
+    assert not eng.step()
+
+
+def test_events_run_counter():
+    eng = Engine()
+    for i in range(5):
+        eng.schedule(float(i), lambda: None)
+    eng.run()
+    assert eng.events_run == 5
+
+
+def test_run_not_reentrant():
+    eng = Engine()
+
+    def inner():
+        with pytest.raises(SimulationError, match="reentrant"):
+            eng.run()
+
+    eng.schedule(0.0, inner)
+    eng.run()
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        eng = Engine()
+        order = []
+        for i in range(50):
+            eng.schedule((i * 7919) % 13 * 0.5, order.append, i)
+        eng.run()
+        return order
+
+    assert build() == build()
