@@ -1,14 +1,18 @@
 """Shared benchmark fixtures.
 
 Every benchmark regenerates one of the paper's tables or figures.  The
-heavy lifting (the run matrix) happens once per session through the
-module-level cache in ``repro.harness.matrix``; the pytest-benchmark
-timings measure a single representative simulation run per bench so the
-numbers stay meaningful.
+heavy lifting (the run matrix) goes through ``repro.exec``: cells are
+memoized in-process for the session and, when ``--repro-cache-dir`` is
+given (or ``--repro-disk-cache`` enables the default location), served
+from the content-addressed on-disk cache so a second benchmark session
+re-simulates nothing.  ``--repro-jobs N`` fans uncached sweep cells out
+over N worker processes; the engine's determinism guarantees the same
+tables either way.  The pytest-benchmark timings still measure a single
+representative simulation run per bench so the numbers stay meaningful.
 
 Run with::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/ --benchmark-only -s --repro-jobs 4
 
 (``-s`` shows the regenerated tables.)
 """
@@ -17,6 +21,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exec import ResultCache
+from repro.harness import matrix
 from repro.harness.matrix import clear_cache
 
 
@@ -27,6 +33,22 @@ def pytest_addoption(parser):
         choices=["tiny", "default", "full"],
         help="problem scale for the reproduction benches",
     )
+    parser.addoption(
+        "--repro-jobs",
+        type=int,
+        default=1,
+        help="worker processes for uncached sweep cells",
+    )
+    parser.addoption(
+        "--repro-cache-dir",
+        default=None,
+        help="on-disk result cache directory for the sweeps",
+    )
+    parser.addoption(
+        "--repro-disk-cache",
+        action="store_true",
+        help="use the default on-disk result cache (~/.cache/repro-dsm)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -35,8 +57,16 @@ def scale(request):
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _fresh_cache():
+def _exec_engine(request):
+    """Point every sweep of the session at the execution engine."""
+    cache_dir = request.config.getoption("--repro-cache-dir")
+    use_disk = request.config.getoption("--repro-disk-cache") or cache_dir
+    matrix.configure(
+        jobs=request.config.getoption("--repro-jobs"),
+        cache=ResultCache(cache_dir) if use_disk else None,
+    )
     yield
+    matrix.configure(jobs=1, cache=None)
     clear_cache()
 
 

@@ -30,10 +30,11 @@ class Machine:
         params: MachineParams,
         protocol: str = "hlrc",
         poll_dilation: float = 0.0,
+        max_events: Optional[int] = None,
     ):
         params.validate()
         self.params = params
-        self.engine = Engine()
+        self.engine = Engine() if max_events is None else Engine(max_events=max_events)
         self.stats = Stats(params.n_nodes)
         self.blockspace = BlockSpace(params.granularity)
         self.space = AddressSpace()

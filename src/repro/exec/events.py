@@ -1,0 +1,77 @@
+"""Structured JSONL event log for the execution engine.
+
+One line per event, each a JSON object with at least ``type`` and
+``ts`` (wall-clock seconds since the epoch).  Event types emitted by
+the engine:
+
+==============  ========================================================
+sweep_started   a batch of cells was handed to the engine
+                (``cells``, ``jobs``, ``cached_backend``)
+cache_hit       a cell was served from the on-disk cache (``config``)
+run_started     a cell began simulating (``config``, ``attempt``)
+run_finished    a cell completed (``config``, ``duration_s``,
+                ``speedup``)
+run_failed      a cell raised or timed out (``config``, ``error``,
+                ``error_type``, ``duration_s``)
+sweep_finished  the batch completed (``ok``, ``failed``, ``cache_hits``,
+                ``duration_s``)
+==============  ========================================================
+
+``config`` is the flat ``RunConfig`` dictionary, so logs are grep-able
+by app/protocol/granularity without joining against anything else.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+RUN_EVENT_TYPES = ("run_started", "run_finished", "run_failed")
+
+
+class EventLog:
+    """Append-only JSONL sink; also keeps events in memory.
+
+    Construct with a path to append to a file, or with no arguments for
+    an in-memory log (tests, programmatic inspection).  Safe to share
+    between the scheduler and cache layers; writes are line-buffered so
+    a crashed sweep still leaves a readable log.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.events: List[Dict] = []
+        self._fh = open(path, "a", buffering=1) if path else None
+
+    def emit(self, etype: str, **fields) -> Dict:
+        ev = {"type": etype, "ts": time.time(), **fields}
+        self.events.append(ev)
+        if self._fh is not None:
+            self._fh.write(json.dumps(ev, sort_keys=True) + "\n")
+        return ev
+
+    def types(self) -> List[str]:
+        return [e["type"] for e in self.events]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str) -> List[Dict]:
+    """Parse a JSONL event log back into a list of dictionaries."""
+    out: List[Dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

@@ -1,0 +1,254 @@
+"""Parallel, fault-tolerant scheduler for matrix cells.
+
+Every cell of the evaluation matrix is an independent simulation, so
+the sweep is embarrassingly parallel: ``execute_many`` fans cells out
+over a ``ProcessPoolExecutor``, serves repeats from the on-disk cache,
+and isolates failures -- a cell that exhausts its event budget or its
+wall-clock timeout becomes a failed :class:`RunRecord` instead of
+killing the sweep.  Because the simulation engine is deterministic
+(bit-identical event ordering per ``sim/engine.py``), a parallel sweep
+returns exactly the summaries a serial sweep would.
+
+Fault model:
+
+* ``SimulationError`` (event-budget exhaustion, deadlock) is a
+  deterministic outcome: recorded as failed, cached, never retried.
+* ``CellTimeout`` (per-run wall-clock limit, enforced by ``SIGALRM``
+  inside the worker) is host-dependent: recorded as failed, not cached.
+* A broken pool (worker killed, e.g. by the OOM killer) is transient:
+  the affected cells are resubmitted to a fresh pool up to ``retries``
+  times before being recorded as failed.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.events import EventLog
+from repro.exec.serialize import RunRecord, config_to_dict
+
+if TYPE_CHECKING:  # imported lazily at runtime: harness imports exec
+    from repro.harness.experiment import RunConfig
+
+
+class CellTimeout(Exception):
+    """A single cell exceeded its wall-clock budget."""
+
+
+def _alarm_handler(signum, frame):
+    raise CellTimeout("per-run timeout expired")
+
+
+def _simulate_cell(
+    cfg: "RunConfig",
+    max_events: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    attempt: int = 1,
+) -> RunRecord:
+    """Run one cell to a RunRecord; never raises.
+
+    Top-level so it pickles into pool workers.  The timeout uses
+    ``SIGALRM``, which works both serially and in workers (pool workers
+    execute jobs on their main thread) but is skipped when called from
+    a non-main thread.
+    """
+    start = time.monotonic()
+    use_alarm = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    old_handler = None
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        from repro.harness.experiment import run_experiment
+
+        result = run_experiment(cfg, max_events=max_events)
+        return RunRecord.from_stats(
+            cfg, result.stats, duration_s=time.monotonic() - start, attempts=attempt
+        )
+    except Exception as exc:
+        return RunRecord.from_failure(
+            cfg, exc, duration_s=time.monotonic() - start, attempts=attempt
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+def execute(
+    cfg: "RunConfig",
+    *,
+    cache: Optional[ResultCache] = None,
+    events: Optional[EventLog] = None,
+    max_events: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> RunRecord:
+    """Run (or fetch) a single cell through the engine."""
+    log = events if events is not None else EventLog()
+    extra = _cache_extra(max_events)
+    if cache is not None:
+        hit = cache.get(cfg, extra)
+        if hit is not None:
+            log.emit("cache_hit", config=config_to_dict(cfg))
+            return hit
+    log.emit("run_started", config=config_to_dict(cfg), attempt=1)
+    rec = _simulate_cell(cfg, max_events=max_events, timeout_s=timeout)
+    _finish(rec, cache, log, extra)
+    return rec
+
+
+def _cache_extra(max_events):
+    """Non-default execution knobs that must partition the cache."""
+    return {"max_events": max_events} if max_events is not None else None
+
+
+def _finish(
+    rec: RunRecord,
+    cache: Optional[ResultCache],
+    log: EventLog,
+    extra: Optional[Dict] = None,
+) -> None:
+    """Emit the terminal event for a record and cache it."""
+    cfg_d = config_to_dict(rec.config)
+    if rec.ok:
+        log.emit(
+            "run_finished",
+            config=cfg_d,
+            duration_s=rec.duration_s,
+            speedup=rec.speedup,
+        )
+    else:
+        log.emit(
+            "run_failed",
+            config=cfg_d,
+            error=rec.error,
+            error_type=rec.error_type,
+            duration_s=rec.duration_s,
+        )
+    if cache is not None:
+        cache.put(rec, extra)
+
+
+def execute_many(
+    configs: Sequence["RunConfig"],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    events: Optional[EventLog] = None,
+    max_events: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    progress=None,
+) -> Dict["RunConfig", RunRecord]:
+    """Execute a batch of cells, ``jobs`` at a time.
+
+    Returns config -> record in the order given (duplicates collapse to
+    one execution).  ``retries`` bounds how many times a cell is
+    resubmitted after transient pool failures.
+    """
+    t0 = time.monotonic()
+    log = events if events is not None else EventLog()
+    ordered: List["RunConfig"] = []
+    for cfg in configs:
+        if cfg not in ordered:
+            ordered.append(cfg)
+    log.emit(
+        "sweep_started",
+        cells=len(ordered),
+        jobs=jobs,
+        cache_backend=str(cache.cache_dir) if cache is not None else None,
+    )
+
+    out: Dict["RunConfig", RunRecord] = {}
+    pending: List["RunConfig"] = []
+    extra = _cache_extra(max_events)
+    for cfg in ordered:
+        if progress:
+            progress(cfg.label())
+        hit = cache.get(cfg, extra) if cache is not None else None
+        if hit is not None:
+            log.emit("cache_hit", config=config_to_dict(cfg))
+            out[cfg] = hit
+        else:
+            pending.append(cfg)
+
+    if pending:
+        if jobs <= 1:
+            for cfg in pending:
+                log.emit("run_started", config=config_to_dict(cfg), attempt=1)
+                rec = _simulate_cell(cfg, max_events=max_events, timeout_s=timeout)
+                _finish(rec, cache, log, extra)
+                out[cfg] = rec
+        else:
+            _execute_pool(
+                pending, out, jobs, cache, log, max_events, timeout, retries
+            )
+
+    results = {cfg: out[cfg] for cfg in ordered}
+    n_ok = sum(1 for r in results.values() if r.ok)
+    log.emit(
+        "sweep_finished",
+        ok=n_ok,
+        failed=len(results) - n_ok,
+        cache_hits=sum(1 for r in results.values() if r.cached),
+        duration_s=time.monotonic() - t0,
+    )
+    return results
+
+
+def _execute_pool(
+    pending: List["RunConfig"],
+    out: Dict["RunConfig", RunRecord],
+    jobs: int,
+    cache: Optional[ResultCache],
+    log: EventLog,
+    max_events: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+) -> None:
+    """Fan ``pending`` out over worker processes, retrying cells whose
+    worker died (broken pool) up to ``retries`` extra attempts."""
+    attempt = 1
+    extra = _cache_extra(max_events)
+    while pending:
+        retry: List["RunConfig"] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {}
+            for cfg in pending:
+                log.emit("run_started", config=config_to_dict(cfg), attempt=attempt)
+                futures[
+                    pool.submit(_simulate_cell, cfg, max_events, timeout, attempt)
+                ] = cfg
+            for fut in as_completed(futures):
+                cfg = futures[fut]
+                try:
+                    rec = fut.result()
+                except BrokenProcessPool:
+                    retry.append(cfg)
+                    continue
+                except Exception as exc:  # e.g. result failed to unpickle
+                    rec = RunRecord.from_failure(cfg, exc, attempts=attempt)
+                _finish(rec, cache, log, extra)
+                out[cfg] = rec
+        if retry and attempt > retries:
+            for cfg in retry:
+                rec = RunRecord.from_failure(
+                    cfg,
+                    BrokenProcessPool("worker died; retries exhausted"),
+                    attempts=attempt,
+                )
+                _finish(rec, cache, log, extra)
+                out[cfg] = rec
+            retry = []
+        pending = retry
+        attempt += 1

@@ -3,6 +3,14 @@ table/figure emitters that regenerate the paper's evaluation.
 """
 
 from repro.harness.experiment import RunConfig, RunResult, run_experiment
-from repro.harness.matrix import SpeedupMatrix, sweep
+from repro.harness.matrix import SpeedupMatrix, cached_run, clear_cache, sweep
 
-__all__ = ["RunConfig", "RunResult", "run_experiment", "sweep", "SpeedupMatrix"]
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "run_experiment",
+    "sweep",
+    "cached_run",
+    "clear_cache",
+    "SpeedupMatrix",
+]

@@ -32,6 +32,40 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mechanism", default="polling", choices=["polling", "interrupt"])
 
 
+def _add_exec(p: argparse.ArgumentParser) -> None:
+    """Execution-engine knobs for the sweeping subcommands."""
+    p.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the sweep (default 1 = in-process)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default ~/.cache/repro-dsm)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    p.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="append a JSONL event log of the sweep to FILE",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock limit; a cell over budget is recorded "
+             "as failed instead of aborting the sweep",
+    )
+
+
+def _exec_options(args):
+    """(jobs, cache, events) from the _add_exec flags."""
+    from repro.exec import EventLog, ResultCache
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    events = EventLog(args.events) if args.events else None
+    return args.jobs, cache, events
+
+
 def cmd_run(args) -> int:
     cfg = RunConfig(
         app=args.app,
@@ -50,12 +84,17 @@ def cmd_run(args) -> int:
 
 def cmd_figure1(args) -> int:
     apps = args.apps.split(",") if args.apps else APP_NAMES
+    jobs, cache, events = _exec_options(args)
     results = sweep(
         apps,
         mechanism=args.mechanism,
         scale=args.scale,
         nprocs=args.nprocs,
         progress=lambda s: print(f"  running {s}", file=sys.stderr),
+        jobs=jobs,
+        cache=cache,
+        events=events,
+        timeout=args.timeout,
     )
     print(speedup_table(results, apps, "Figure 1: speedups on 16 nodes"))
     print()
@@ -64,16 +103,20 @@ def cmd_figure1(args) -> int:
 
 
 def cmd_faults(args) -> int:
+    jobs, cache, events = _exec_options(args)
     results = sweep([args.app], mechanism=args.mechanism, scale=args.scale,
-                    nprocs=args.nprocs)
+                    nprocs=args.nprocs, jobs=jobs, cache=cache, events=events,
+                    timeout=args.timeout)
     print(fault_table(results, args.app, f"Fault counts: {args.app}"))
     return 0
 
 
 def cmd_hm(args) -> int:
     apps = ORIGINAL_8 if args.which == "original" else APP_NAMES
+    jobs, cache, events = _exec_options(args)
     results = sweep(apps, mechanism=args.mechanism, scale=args.scale,
-                    nprocs=args.nprocs)
+                    nprocs=args.nprocs, jobs=jobs, cache=cache, events=events,
+                    timeout=args.timeout)
     matrix = SpeedupMatrix(results)
     speedups = matrix.speedups()
     if args.which == "best":
@@ -154,11 +197,16 @@ def cmd_report(args) -> int:
     from repro.harness.report import generate_report
 
     apps = args.apps.split(",") if args.apps else None
+    jobs, cache, events = _exec_options(args)
     text = generate_report(
         scale=args.scale,
         nprocs=args.nprocs,
         apps=apps,
         progress=lambda s: print(f"  running {s}", file=sys.stderr),
+        jobs=jobs,
+        cache=cache,
+        events=events,
+        timeout=args.timeout,
     )
     if args.out:
         with open(args.out, "w") as fh:
@@ -185,16 +233,19 @@ def main(argv=None) -> int:
     p = sub.add_parser("figure1", help="speedup matrix")
     p.add_argument("--apps", default=None, help="comma-separated app subset")
     _add_common(p)
+    _add_exec(p)
     p.set_defaults(fn=cmd_figure1)
 
     p = sub.add_parser("faults", help="fault table for one app")
     p.add_argument("app", choices=APP_NAMES)
     _add_common(p)
+    _add_exec(p)
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("hm", help="Table 16/17 statistics")
     p.add_argument("which", choices=["original", "best"])
     _add_common(p)
+    _add_exec(p)
     p.set_defaults(fn=cmd_hm)
 
     p = sub.add_parser("calibrate", help="Table 1 + microbenchmark calibration")
@@ -208,6 +259,7 @@ def main(argv=None) -> int:
     p.add_argument("--out", default=None, help="output file (default stdout)")
     p.add_argument("--apps", default=None, help="comma-separated app subset")
     _add_common(p)
+    _add_exec(p)
     p.set_defaults(fn=cmd_report)
 
     args = ap.parse_args(argv)

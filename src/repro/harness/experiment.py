@@ -54,9 +54,12 @@ def run_experiment(
         granularity=cfg.granularity,
         mechanism=NotificationMechanism(cfg.mechanism),
     )
-    machine = Machine(params, protocol=cfg.protocol, poll_dilation=app.poll_dilation)
-    if max_events is not None:
-        machine.engine._max_events = max_events
+    machine = Machine(
+        params,
+        protocol=cfg.protocol,
+        poll_dilation=app.poll_dilation,
+        max_events=max_events,
+    )
     app.setup(machine)
     result = run_program(
         machine,

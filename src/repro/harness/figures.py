@@ -39,12 +39,18 @@ def speedup_figure(
     for proto in PROTOCOLS:
         for g in GRANULARITIES:
             val = None
+            failed = False
             for c, r in results.items():
                 if (c.app, c.protocol, c.granularity) == (app, proto, g) and (
                     mechanism is None or c.mechanism == mechanism
                 ):
-                    val = r.speedup
-            if val is None:
+                    if r.stats is None:
+                        failed = True
+                    else:
+                        val = r.speedup
+            if failed and val is None:
+                lines.append(f"  {PROTO_LABEL[proto]:7s} {g:5d}    (failed)")
+            elif val is None:
                 lines.append(f"  {PROTO_LABEL[proto]:7s} {g:5d}    (missing)")
             else:
                 lines.append(
@@ -75,10 +81,10 @@ def mechanism_comparison(
             pv = iv = None
             for c, r in polling_results.items():
                 if (c.app, c.protocol, c.granularity) == (app, proto, g):
-                    pv = r.speedup
+                    pv = None if r.stats is None else r.speedup
             for c, r in interrupt_results.items():
                 if (c.app, c.protocol, c.granularity) == (app, proto, g):
-                    iv = r.speedup
+                    iv = None if r.stats is None else r.speedup
             if pv is None or iv is None:
                 continue
             ratio = iv / pv if pv else float("nan")

@@ -40,7 +40,7 @@ def fault_table(
                 val = "-"
                 for c, r in results.items():
                     if (c.app, c.protocol, c.granularity) == (app, proto, g):
-                        val = getattr(r.stats, attr)
+                        val = "FAIL" if r.stats is None else getattr(r.stats, attr)
                 row.append(val)
             rows.append(row)
     return fmt_table(
@@ -58,7 +58,7 @@ def speedup_table(results: Dict, apps: Sequence[str], title: str) -> str:
                 val = "-"
                 for c, r in results.items():
                     if (c.app, c.protocol, c.granularity) == (app, proto, g):
-                        val = f"{r.speedup:.2f}"
+                        val = "FAIL" if r.stats is None else f"{r.speedup:.2f}"
                 row.append(val)
             rows.append(row)
     return fmt_table(
@@ -91,7 +91,11 @@ def traffic_table(results: Dict, app: str, title: str) -> str:
             val = "-"
             for c, r in results.items():
                 if (c.app, c.protocol, c.granularity) == (app, proto, g):
-                    val = f"{r.stats.data_traffic_bytes / 1e6:.2f}"
+                    val = (
+                        "FAIL"
+                        if r.stats is None
+                        else f"{r.stats.data_traffic_bytes / 1e6:.2f}"
+                    )
             row.append(val)
         rows.append(row)
     return fmt_table(

@@ -42,6 +42,13 @@ class NodeStats:
     def sync_wait_us(self) -> float:
         return self.lock_wait_us + self.barrier_wait_us
 
+    def to_dict(self) -> Dict:
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "NodeStats":
+        return cls(**d)
+
 
 class Stats:
     """Aggregated counters for one simulation run."""
@@ -141,6 +148,36 @@ class Stats:
     @property
     def total_lock_acquires(self) -> int:
         return sum(n.lock_acquires for n in self.nodes)
+
+    # ------------------------------------------------------------------
+    # serialization (repro.exec: results must cross process boundaries
+    # and live in the on-disk cache without dragging Machine along)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable dump of every counter, per-node included."""
+        out: Dict = {}
+        for k, v in vars(self).items():
+            if k == "nodes":
+                out[k] = [n.to_dict() for n in self.nodes]
+            elif isinstance(v, Counter):
+                out[k] = dict(v)
+            else:
+                out[k] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "Stats":
+        """Inverse of :meth:`to_dict`; tolerates counters added after a
+        dump was written (they keep their constructor defaults)."""
+        st = cls(d["n_nodes"])
+        for k, v in d.items():
+            if k == "nodes":
+                st.nodes = [NodeStats.from_dict(nd) for nd in v]
+            elif isinstance(getattr(st, k, None), Counter):
+                setattr(st, k, Counter(v))
+            elif k != "n_nodes":
+                setattr(st, k, v)
+        return st
 
     def summary(self) -> Dict[str, float]:
         """Flat dictionary used by the harness report writers."""

@@ -1,0 +1,268 @@
+"""Tests for the repro.exec execution engine: serialization, the
+on-disk cache, the process-pool scheduler, and the event log."""
+
+import json
+
+import pytest
+
+from repro.cluster.config import MachineParams
+from repro.cluster.machine import Machine
+from repro.exec import (
+    EventLog,
+    ResultCache,
+    RunRecord,
+    config_from_dict,
+    config_to_dict,
+    execute,
+    execute_many,
+    read_events,
+)
+from repro.exec.events import RUN_EVENT_TYPES
+from repro.harness.experiment import RunConfig, run_experiment
+from repro.harness.matrix import SpeedupMatrix, cached_run, clear_cache, sweep
+from repro.sim.engine import SimulationError
+from repro.stats.counters import NodeStats, Stats
+
+TINY = dict(scale="tiny", nprocs=4)
+
+
+def tiny_cfg(app="lu", protocol="sc", granularity=1024, **kw):
+    return RunConfig(app=app, protocol=protocol, granularity=granularity,
+                     **{**TINY, **kw})
+
+
+@pytest.fixture(scope="module")
+def tiny_stats():
+    return run_experiment(tiny_cfg()).stats
+
+
+class TestStatsSerialization:
+    def test_node_stats_round_trip(self):
+        ns = NodeStats(3, read_faults=7, compute_us=1.5)
+        assert NodeStats.from_dict(ns.to_dict()) == ns
+
+    def test_stats_round_trip_summary(self, tiny_stats):
+        clone = Stats.from_dict(tiny_stats.to_dict())
+        assert clone.summary() == tiny_stats.summary()
+
+    def test_stats_round_trip_counters(self, tiny_stats):
+        clone = Stats.from_dict(tiny_stats.to_dict())
+        assert clone.msg_count == tiny_stats.msg_count
+        assert clone.msg_bytes == tiny_stats.msg_bytes
+        assert [n.to_dict() for n in clone.nodes] == [
+            n.to_dict() for n in tiny_stats.nodes
+        ]
+
+    def test_stats_dict_is_json_safe(self, tiny_stats):
+        json.dumps(tiny_stats.to_dict())
+
+    def test_forward_compatible_with_new_counters(self, tiny_stats):
+        d = tiny_stats.to_dict()
+        d.pop("writebacks")  # older dump missing a counter
+        clone = Stats.from_dict(d)
+        assert clone.writebacks == 0
+
+
+class TestRunRecord:
+    def test_config_round_trip(self):
+        cfg = tiny_cfg(mechanism="interrupt")
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_ok_record_round_trip(self, tiny_stats):
+        rec = RunRecord.from_stats(tiny_cfg(), tiny_stats, duration_s=1.25)
+        clone = RunRecord.from_json_dict(json.loads(json.dumps(rec.to_json_dict())))
+        assert clone.config == rec.config
+        assert clone.ok and clone.summary() == rec.summary()
+        assert clone.speedup == rec.speedup
+        assert clone.duration_s == 1.25
+
+    def test_failed_record_round_trip(self):
+        rec = RunRecord.from_failure(tiny_cfg(), SimulationError("boom"))
+        clone = RunRecord.from_json_dict(rec.to_json_dict())
+        assert not clone.ok
+        assert clone.error_type == "SimulationError"
+        assert clone.stats is None and clone.speedup == 0.0
+        assert clone.summary() == {}
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path, tiny_stats):
+        cache = ResultCache(tmp_path, fingerprint="fp-a")
+        cfg = tiny_cfg()
+        assert cache.get(cfg) is None
+        assert cache.put(RunRecord.from_stats(cfg, tiny_stats))
+        hit = cache.get(cfg)
+        assert hit is not None and hit.cached
+        assert hit.summary() == tiny_stats.summary()
+
+    def test_fingerprint_change_invalidates(self, tmp_path, tiny_stats):
+        cfg = tiny_cfg()
+        ResultCache(tmp_path, fingerprint="fp-a").put(
+            RunRecord.from_stats(cfg, tiny_stats)
+        )
+        assert ResultCache(tmp_path, fingerprint="fp-b").get(cfg) is None
+        assert ResultCache(tmp_path, fingerprint="fp-a").get(cfg) is not None
+
+    def test_distinct_configs_distinct_keys(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        assert cache.key(tiny_cfg()) != cache.key(tiny_cfg(granularity=64))
+        assert cache.key(tiny_cfg()) != cache.key(
+            tiny_cfg(), extra={"max_events": 10}
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, tiny_stats):
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        cfg = tiny_cfg()
+        cache.put(RunRecord.from_stats(cfg, tiny_stats))
+        cache._path(cfg).write_text("{not json")
+        assert cache.get(cfg) is None
+
+    def test_deterministic_failures_cached_transient_not(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        sim_fail = RunRecord.from_failure(tiny_cfg(), SimulationError("budget"))
+        assert cache.put(sim_fail)
+        timeout_fail = RunRecord.from_failure(
+            tiny_cfg(granularity=64), TimeoutError("slow host")
+        )
+        assert not cache.put(timeout_fail)
+        assert cache.get(tiny_cfg(granularity=64)) is None
+
+    def test_clear_and_len(self, tmp_path, tiny_stats):
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        cache.put(RunRecord.from_stats(tiny_cfg(), tiny_stats))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestEventLog:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with EventLog(path) as log:
+            log.emit("run_started", config={"app": "lu"}, attempt=1)
+            log.emit("run_finished", duration_s=0.5)
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["run_started", "run_finished"]
+        assert all("ts" in e for e in events)
+
+    def test_in_memory_log(self):
+        log = EventLog()
+        log.emit("cache_hit")
+        assert log.types() == ["cache_hit"]
+
+
+class TestExecuteMany:
+    CONFIGS = [
+        tiny_cfg(protocol=p, granularity=g)
+        for p in ("sc", "hlrc")
+        for g in (64, 4096)
+    ]
+
+    def test_failed_cell_does_not_abort_sweep(self):
+        log = EventLog()
+        records = execute_many(self.CONFIGS, max_events=50, events=log)
+        # every cell blows the 50-event budget but the sweep completes
+        assert len(records) == len(self.CONFIGS)
+        assert all(not r.ok for r in records.values())
+        assert all(r.error_type == "SimulationError" for r in records.values())
+        assert log.types().count("run_failed") == len(self.CONFIGS)
+
+    def test_timeout_reported_as_failed_record(self):
+        cfg = tiny_cfg(app="water-nsquared", granularity=64)
+        rec = execute(cfg, timeout=1e-4)
+        assert not rec.ok and rec.error_type == "CellTimeout"
+
+    def test_parallel_matches_serial_bit_identical(self):
+        serial = execute_many(self.CONFIGS, jobs=1)
+        parallel = execute_many(self.CONFIGS, jobs=4)
+        assert list(serial) == list(parallel)
+        for cfg in self.CONFIGS:
+            assert serial[cfg].summary() == parallel[cfg].summary()
+
+    def test_second_sweep_served_entirely_from_disk(self, tmp_path):
+        log1 = EventLog()
+        execute_many(self.CONFIGS, jobs=2, cache=ResultCache(tmp_path), events=log1)
+        assert log1.types().count("run_finished") == len(self.CONFIGS)
+        # fresh cache object = what a fresh interpreter would build
+        log2 = EventLog(str(tmp_path / "events.jsonl"))
+        records = execute_many(
+            self.CONFIGS, jobs=2, cache=ResultCache(tmp_path), events=log2
+        )
+        assert all(r.cached for r in records.values())
+        logged = read_events(str(tmp_path / "events.jsonl"))
+        types = {e["type"] for e in logged}
+        assert not types & set(RUN_EVENT_TYPES)
+        assert sum(1 for e in logged if e["type"] == "cache_hit") == len(self.CONFIGS)
+
+    def test_cached_summaries_match_fresh(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        fresh = execute_many(self.CONFIGS, cache=cache)
+        cached = execute_many(self.CONFIGS, cache=ResultCache(tmp_path))
+        for cfg in self.CONFIGS:
+            assert cached[cfg].summary() == fresh[cfg].summary()
+
+    def test_duplicate_configs_collapse(self):
+        cfg = tiny_cfg()
+        records = execute_many([cfg, cfg, cfg])
+        assert len(records) == 1
+
+
+class TestSweepIntegration:
+    def test_sweep_jobs_matches_serial(self):
+        kwargs = dict(
+            protocols=["sc", "hlrc"], granularities=[64, 4096],
+            scale="tiny", nprocs=4,
+        )
+        clear_cache()
+        serial = sweep(["lu"], **kwargs)
+        clear_cache()
+        parallel = sweep(["lu"], jobs=4, **kwargs)
+        clear_cache()
+        assert {c: r.summary() for c, r in serial.items()} == {
+            c: r.summary() for c, r in parallel.items()
+        }
+
+    def test_sweep_uses_disk_cache(self, tmp_path):
+        kwargs = dict(
+            protocols=["sc"], granularities=[1024], scale="tiny", nprocs=4
+        )
+        clear_cache()
+        sweep(["fft"], cache=ResultCache(tmp_path), **kwargs)
+        clear_cache()
+        log = EventLog()
+        out = sweep(["fft"], cache=ResultCache(tmp_path), events=log, **kwargs)
+        clear_cache()
+        assert all(r.cached for r in out.values())
+        assert "cache_hit" in log.types()
+
+    def test_cached_run_forwards_overrides(self):
+        clear_cache()
+        cfg = tiny_cfg()
+        base = cached_run(cfg)
+        bigger = cached_run(cfg, n=128)
+        clear_cache()
+        # the override grows the problem, so the counters must differ
+        assert bigger.summary() != base.summary()
+
+    def test_speedup_matrix_skips_failed_records(self):
+        cfg_ok = tiny_cfg()
+        ok = execute(cfg_ok)
+        cfg_bad = tiny_cfg(granularity=64)
+        bad = execute(cfg_bad, max_events=50)
+        m = SpeedupMatrix({cfg_ok: ok, cfg_bad: bad})
+        assert m.speedup("lu", "sc", 1024) > 0
+        with pytest.raises(KeyError):
+            m.speedup("lu", "sc", 64)
+        assert ("lu", "sc", 64) not in m.speedups()
+        assert [r.config for r in m.failed()] == [cfg_bad]
+        assert m.best_combination("lu")[:2] == ("sc", 1024)
+
+
+class TestMaxEventsPlumbing:
+    def test_machine_accepts_max_events(self):
+        m = Machine(MachineParams(n_nodes=2, granularity=1024), max_events=123)
+        assert m.engine._max_events == 123
+
+    def test_run_experiment_budget_raises(self):
+        with pytest.raises(SimulationError):
+            run_experiment(tiny_cfg(), max_events=50)
