@@ -20,7 +20,8 @@ sets their synchronization frequency:
 
 from __future__ import annotations
 
-from typing import Generator, List
+from contextlib import nullcontext
+from typing import Generator
 
 from repro.apps.base import Application, register_app
 
@@ -100,12 +101,18 @@ class BarnesBase(Application):
             for k in range(8):
                 c = self._cell_of_insertion(start * 2654435761 + k * 7919, k, step)
                 yield from dsm.touch_read(self.cell_addr(c), CELL_BYTES)
-            # Nearby bodies of other partitions.
+            # Nearby bodies of other partitions.  The force traversal
+            # reads only their *prior-step* position fields; the owner's
+            # same-phase update writes the velocity/new-position fields,
+            # so the pair is field-disjoint within the record.
             peer = (rank + 1 + (start % max(1, nprocs - 1))) % nprocs
             plo, phi = self.split(self.n_bodies, nprocs, peer)
             if phi > plo:
                 baddr = self.body_addr(plo + (start % (phi - plo)))
-                yield from dsm.touch_read(baddr, BODY_BYTES)
+                with dsm.assume_disjoint(
+                    "force phase reads prior-step position fields"
+                ):
+                    yield from dsm.touch_read(baddr, BODY_BYTES)
             yield from dsm.compute(FORCE_US * cnt)
         # Update own particles (local).
         yield from dsm.touch_write(
@@ -138,10 +145,21 @@ class BarnesOriginal(BarnesBase):
                 cell = self._cell_of_insertion(body, depth, step)
                 if locked:
                     yield from dsm.acquire(700 + cell % 128)
-                yield from dsm.touch_write(
-                    self.cell_addr(cell), CELL_BYTES,
-                    pattern=self.pattern(step, body),
+                # Unlocked (SC-mode) insertions model the common case
+                # where the insertion descends into a freshly allocated
+                # cell private to this processor; only the ~1-in-8
+                # contended allocations take the cell lock.
+                ctx = (
+                    nullcontext() if locked
+                    else dsm.assume_disjoint(
+                        "uncontended insertions write privately allocated cells"
+                    )
                 )
+                with ctx:
+                    yield from dsm.touch_write(
+                        self.cell_addr(cell), CELL_BYTES,
+                        pattern=self.pattern(step, body),
+                    )
                 yield from dsm.compute(INSERT_US)
                 if locked:
                     yield from dsm.release(700 + cell % 128)

@@ -14,7 +14,7 @@ An :class:`Application` bundles
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Type
+from typing import Dict, Generator, Type
 
 from repro.cluster.machine import Machine
 from repro.runtime.dsm import Dsm

@@ -105,10 +105,16 @@ class OceanRowwise(OceanBase):
         yield from dsm.barrier(0, participants=nprocs)
         for it in range(self.sweeps):
             for phase in range(2):
-                if lo > 0:
-                    yield from dsm.touch_read(self.row_addr(lo - 1), self.row_bytes)
-                if hi < self.n:
-                    yield from dsm.touch_read(self.row_addr(hi), self.row_bytes)
+                # Same-phase neighbour writes touch these rows at region
+                # granularity, but the red-black sweep only reads the
+                # other (element-disjoint) colour.
+                with dsm.assume_disjoint(
+                    "red-black half-sweeps read the other colour"
+                ):
+                    if lo > 0:
+                        yield from dsm.touch_read(self.row_addr(lo - 1), self.row_bytes)
+                    if hi < self.n:
+                        yield from dsm.touch_read(self.row_addr(hi), self.row_bytes)
                 # Interior rows relax in bulk (their pages are private).
                 if interior_rows > 0:
                     yield from dsm.touch_write(
@@ -166,27 +172,32 @@ class OceanOriginal(OceanBase):
         sweep_cost = POINT_US * self.sub_rows * self.sub_cols
         yield from dsm.barrier(0, participants=nprocs)
         for it in range(self.sweeps):
-            # Row borders of up/down neighbours: contiguous sub-rows.
-            up = self.neighbor(rank, -1, 0, nprocs)
-            if up is not None:
-                last_row = self.subgrids[up] + (self.sub_rows - 1) * self.sub_row_bytes
-                yield from dsm.touch_read(last_row, self.sub_row_bytes)
-            down = self.neighbor(rank, 1, 0, nprocs)
-            if down is not None:
-                yield from dsm.touch_read(self.subgrids[down], self.sub_row_bytes)
-            # Column borders of left/right neighbours: ONE ELEMENT AT A
-            # TIME -- the fine-grain pattern that fragments badly at
-            # coarse granularity (>99% useless traffic at 4096 bytes).
-            left = self.neighbor(rank, 0, -1, nprocs)
-            if left is not None:
-                col = self.subgrids[left] + (self.sub_cols - 1) * ELEM
-                for row in range(self.sub_rows):
-                    yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
-            right = self.neighbor(rank, 0, 1, nprocs)
-            if right is not None:
-                col = self.subgrids[right]
-                for row in range(self.sub_rows):
-                    yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
+            # Border reads overlap the neighbours' same-sweep in-place
+            # relaxation at region granularity; the real red-black
+            # sweeps only read the *other* colour's (element-disjoint)
+            # points, so the pairs are conflict-free.
+            with dsm.assume_disjoint("red-black half-sweeps read the other colour"):
+                # Row borders of up/down neighbours: contiguous sub-rows.
+                up = self.neighbor(rank, -1, 0, nprocs)
+                if up is not None:
+                    last_row = self.subgrids[up] + (self.sub_rows - 1) * self.sub_row_bytes
+                    yield from dsm.touch_read(last_row, self.sub_row_bytes)
+                down = self.neighbor(rank, 1, 0, nprocs)
+                if down is not None:
+                    yield from dsm.touch_read(self.subgrids[down], self.sub_row_bytes)
+                # Column borders of left/right neighbours: ONE ELEMENT AT
+                # A TIME -- the fine-grain pattern that fragments badly at
+                # coarse granularity (>99% useless traffic at 4096 bytes).
+                left = self.neighbor(rank, 0, -1, nprocs)
+                if left is not None:
+                    col = self.subgrids[left] + (self.sub_cols - 1) * ELEM
+                    for row in range(self.sub_rows):
+                        yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
+                right = self.neighbor(rank, 0, 1, nprocs)
+                if right is not None:
+                    col = self.subgrids[right]
+                    for row in range(self.sub_rows):
+                        yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
             # Relax the whole local subgrid in place (local writes).
             yield from dsm.touch_write(
                 base, self.sub_bytes, pattern=self.pattern(it, rank)

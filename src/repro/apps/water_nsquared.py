@@ -103,11 +103,18 @@ class WaterNsquared(Application):
                 # Pair interactions computed for this chunk.
                 cost = PAIR_US * mine * span * pair_frac
                 if owner == rank:
-                    # Own partition: no lock needed for self pairs.
-                    yield from dsm.touch_write(
-                        self.mol_addr(m), span * MOL_BYTES,
-                        pattern=self.pattern(step, rank, pos),
-                    )
+                    # Own partition: no lock needed for self pairs.  The
+                    # real code accumulates other processors' force
+                    # contributions into private arrays merged under the
+                    # partition lock, so this unlocked update never
+                    # touches the same elements as their locked updates.
+                    with dsm.assume_disjoint(
+                        "forces accumulate in private arrays merged under locks"
+                    ):
+                        yield from dsm.touch_write(
+                            self.mol_addr(m), span * MOL_BYTES,
+                            pattern=self.pattern(step, rank, pos),
+                        )
                     yield from dsm.compute(cost)
                 else:
                     yield from dsm.acquire(100 + owner)

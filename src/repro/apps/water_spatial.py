@@ -118,13 +118,20 @@ class WaterSpatial(Application):
         for step in range(self.steps):
             # ---- force phase: read neighbour partitions' face cells
             # (one fine-grained read per remote cell), compute.
+            # Face-cell reads fetch the neighbours' *prior-step*
+            # molecule positions; the owner's same-phase in-place update
+            # writes the new-step fields -- field-disjoint in the real
+            # program though the region touches overlap.
             seen = set()
-            for own_c, remote_c in boundary:
-                if remote_c not in seen:
-                    seen.add(remote_c)
-                    yield from dsm.touch_read(
-                        self.cell_addr(remote_c), self.cell_bytes
-                    )
+            with dsm.assume_disjoint(
+                "force phase reads prior-step position fields"
+            ):
+                for own_c, remote_c in boundary:
+                    if remote_c not in seen:
+                        seen.add(remote_c)
+                        yield from dsm.touch_read(
+                            self.cell_addr(remote_c), self.cell_bytes
+                        )
             yield from dsm.compute(step_cost * 0.8)
             # Update own cells in place.
             for c in owned:

@@ -1,0 +1,41 @@
+"""Dynamic correctness checking for the DSM simulator.
+
+The LRC protocols (SW-LRC, HLRC) only guarantee coherence for
+data-race-free programs: coherence information moves exclusively at
+acquire/release/barrier points, so an unsynchronized conflicting access
+pair reads whatever happens to be cached.  Nothing in a performance
+table reveals that -- the run completes, the speedup looks plausible,
+the data is garbage.  This package is the mechanical backstop:
+
+* :mod:`repro.check.race` -- a happens-before data-race detector
+  (vector clocks over the instrumentation hooks);
+* :mod:`repro.check.invariants` -- protocol-invariant sanitizer
+  asserting SC directory discipline, HLRC twin/diff discipline and
+  SW-LRC version rules while a simulation runs;
+* :func:`install_checkers` / :func:`run_experiment(check=True)
+  <repro.harness.experiment.run_experiment>` -- the wiring.
+
+The static companion lives in ``tools/lint_sim.py``.  See
+``docs/CHECKING.md`` for the full catalogue.
+"""
+
+from repro.check.api import (
+    CheckFailure,
+    Checkers,
+    CheckReport,
+    install_checkers,
+)
+from repro.check.invariants import InvariantChecker, InvariantViolation
+from repro.check.race import AccessSite, Race, RaceDetector
+
+__all__ = [
+    "AccessSite",
+    "CheckFailure",
+    "CheckReport",
+    "Checkers",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Race",
+    "RaceDetector",
+    "install_checkers",
+]

@@ -21,7 +21,7 @@ virtual-memory page is always 4096 bytes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 #: The coherence granularities evaluated by the paper.

@@ -40,6 +40,9 @@ class Machine:
         self.space = AddressSpace()
         self.home = HomeTable(params.n_nodes, params.granularity)
         self.poll_dilation = poll_dilation
+        #: instrumentation hooks (None = uninstrumented hot path); see
+        #: repro.hooks.Hooks for the observation interface
+        self.hooks = None
         self.nodes: List[Node] = [
             Node(i, self.engine, params, self.stats, self._dispatch, poll_dilation)
             for i in range(params.n_nodes)
@@ -52,6 +55,12 @@ class Machine:
         self.protocol = make_protocol(protocol, self)
         self.locks = LockService(self)
         self.barriers = BarrierService(self)
+
+    def add_hooks(self, hook) -> None:
+        """Install an instrumentation hook (composes with existing ones)."""
+        from repro.hooks import add_hooks
+
+        add_hooks(self, hook)
 
     # ------------------------------------------------------------------
     # message plumbing

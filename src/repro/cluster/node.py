@@ -35,7 +35,7 @@ previous handler's completion.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator
 
 from repro.cluster.config import MachineParams, NotificationMechanism
 from repro.memory.access_control import AccessControl

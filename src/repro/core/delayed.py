@@ -25,7 +25,7 @@ ever stretches by ``DELAY_US``; no deadlock is possible.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, List
 
 from repro.core.protocol import register
 from repro.core.sc import SCProtocol

@@ -23,7 +23,7 @@ interval's dirty set so the next release still advertises it.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Set, Tuple
+from typing import Dict, Generator, List
 
 import numpy as np
 

@@ -15,7 +15,7 @@ acquire time.  The subclasses differ in
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Set, Tuple
 
 from repro.core.protocol import CoherenceProtocol
 from repro.core.timestamps import IntervalLog, VectorClock, WriteNotice

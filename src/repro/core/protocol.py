@@ -47,6 +47,10 @@ class CoherenceProtocol:
         self.params = machine.params
         self.stats = machine.stats
         self.home = machine.home
+        #: optional invariant sanitizer (repro.check); called after
+        #: every handled message.  None keeps the dispatch hot path a
+        #: single attribute test.
+        self.checker = None
         self._handlers: Dict[str, Callable] = {}
         self._register_handlers()
 
@@ -188,6 +192,8 @@ class CoherenceProtocol:
         if handler is None:
             raise KeyError(f"{self.name}: no handler for message type {msg.mtype!r}")
         handler(node, msg)
+        if self.checker is not None:
+            self.checker.after_message(self, node, msg)
 
     def on_place(self, block: int, home_id: int) -> None:
         """Setup-time hook: a block was declaratively placed at a home

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Generator, Optional, Set
 
 from repro.core.protocol import CoherenceProtocol, register
-from repro.memory.access_control import INV, RO, RW
+from repro.memory.access_control import RO, RW
 from repro.net.message import HEADER_BYTES, Message
 from repro.sim.process import CountdownLatch, Future
 
@@ -57,6 +57,11 @@ class SCProtocol(CoherenceProtocol):
         self._poisoned: Set[tuple] = set()
         #: recalls that raced a pending grant: (node, block) -> [msgs]
         self._deferred_recalls: Dict[tuple, list] = {}
+        #: (node, block) pairs between a poisoned/deferred install and
+        #: its zero-delay _apply_deferred tick (the one window where a
+        #: freshly installed tag is already scheduled to drop; external
+        #: state checkers must treat these blocks as in transaction)
+        self._settling: Set[tuple] = set()
         #: (node, block) pairs where the node knows it holds authoritative
         #: ownership (set at write-grant install, cleared when a recall
         #: is served) -- lets a recall be served immediately even while
@@ -181,11 +186,13 @@ class SCProtocol(CoherenceProtocol):
             self._poisoned.discard(key)
         deferred = self._deferred_recalls.pop(key, None)
         if poisoned or deferred:
+            self._settling.add(key)
             self.engine.schedule(
                 0.0, self._apply_deferred, node, block, poisoned, deferred or []
             )
 
     def _apply_deferred(self, node, block: int, poisoned: bool, recalls) -> None:
+        self._settling.discard((node.id, block))
         if poisoned and not recalls:
             # A stale invalidation raced the grant: honor it late.  The
             # copy we installed was valid at the home's serialization

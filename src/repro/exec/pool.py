@@ -50,6 +50,7 @@ def _simulate_cell(
     max_events: Optional[int] = None,
     timeout_s: Optional[float] = None,
     attempt: int = 1,
+    check: bool = False,
 ) -> RunRecord:
     """Run one cell to a RunRecord; never raises.
 
@@ -57,6 +58,11 @@ def _simulate_cell(
     ``SIGALRM``, which works both serially and in workers (pool workers
     execute jobs on their main thread) but is skipped when called from
     a non-main thread.
+
+    ``check`` runs the cell under the :mod:`repro.check` race detector
+    and invariant sanitizer: a cell with findings becomes a *failed*
+    record (error_type ``CheckFailure``), a clean cell carries the
+    checker counters in ``record.check``.
     """
     start = time.monotonic()
     use_alarm = (
@@ -71,10 +77,22 @@ def _simulate_cell(
     try:
         from repro.harness.experiment import run_experiment
 
-        result = run_experiment(cfg, max_events=max_events)
-        return RunRecord.from_stats(
+        result = run_experiment(cfg, max_events=max_events, check=check)
+        if check and result.check is not None and not result.check.ok:
+            from repro.check import CheckFailure
+
+            raise CheckFailure(result.check, cfg.label())
+        rec = RunRecord.from_stats(
             cfg, result.stats, duration_s=time.monotonic() - start, attempts=attempt
         )
+        if check and result.check is not None:
+            rep = result.check
+            rec.check = {
+                "races": rep.races_total,
+                "false_sharing": rep.false_sharing_total,
+                "violations": rep.violations_total,
+            }
+        return rec
     except Exception as exc:
         return RunRecord.from_failure(
             cfg, exc, duration_s=time.monotonic() - start, attempts=attempt
@@ -92,24 +110,34 @@ def execute(
     events: Optional[EventLog] = None,
     max_events: Optional[int] = None,
     timeout: Optional[float] = None,
+    check: bool = False,
 ) -> RunRecord:
     """Run (or fetch) a single cell through the engine."""
     log = events if events is not None else EventLog()
-    extra = _cache_extra(max_events)
+    extra = _cache_extra(max_events, check)
     if cache is not None:
         hit = cache.get(cfg, extra)
         if hit is not None:
             log.emit("cache_hit", config=config_to_dict(cfg))
             return hit
     log.emit("run_started", config=config_to_dict(cfg), attempt=1)
-    rec = _simulate_cell(cfg, max_events=max_events, timeout_s=timeout)
+    rec = _simulate_cell(cfg, max_events=max_events, timeout_s=timeout, check=check)
     _finish(rec, cache, log, extra)
     return rec
 
 
-def _cache_extra(max_events):
-    """Non-default execution knobs that must partition the cache."""
-    return {"max_events": max_events} if max_events is not None else None
+def _cache_extra(max_events, check: bool = False):
+    """Non-default execution knobs that must partition the cache.
+
+    An unchecked sweep's extra dict (and hence its cache keys) is
+    byte-for-byte what it was before checking existed; ``check=True``
+    gains a key so checked records never shadow unchecked ones."""
+    extra = {}
+    if max_events is not None:
+        extra["max_events"] = max_events
+    if check:
+        extra["check"] = True
+    return extra or None
 
 
 def _finish(
@@ -149,6 +177,7 @@ def execute_many(
     timeout: Optional[float] = None,
     retries: int = 1,
     progress=None,
+    check: bool = False,
 ) -> Dict["RunConfig", RunRecord]:
     """Execute a batch of cells, ``jobs`` at a time.
 
@@ -171,7 +200,7 @@ def execute_many(
 
     out: Dict["RunConfig", RunRecord] = {}
     pending: List["RunConfig"] = []
-    extra = _cache_extra(max_events)
+    extra = _cache_extra(max_events, check)
     for cfg in ordered:
         if progress:
             progress(cfg.label())
@@ -186,12 +215,15 @@ def execute_many(
         if jobs <= 1:
             for cfg in pending:
                 log.emit("run_started", config=config_to_dict(cfg), attempt=1)
-                rec = _simulate_cell(cfg, max_events=max_events, timeout_s=timeout)
+                rec = _simulate_cell(
+                    cfg, max_events=max_events, timeout_s=timeout, check=check
+                )
                 _finish(rec, cache, log, extra)
                 out[cfg] = rec
         else:
             _execute_pool(
-                pending, out, jobs, cache, log, max_events, timeout, retries
+                pending, out, jobs, cache, log, max_events, timeout, retries,
+                check,
             )
 
     results = {cfg: out[cfg] for cfg in ordered}
@@ -215,11 +247,12 @@ def _execute_pool(
     max_events: Optional[int],
     timeout: Optional[float],
     retries: int,
+    check: bool = False,
 ) -> None:
     """Fan ``pending`` out over worker processes, retrying cells whose
     worker died (broken pool) up to ``retries`` extra attempts."""
     attempt = 1
-    extra = _cache_extra(max_events)
+    extra = _cache_extra(max_events, check)
     while pending:
         retry: List["RunConfig"] = []
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
@@ -227,7 +260,9 @@ def _execute_pool(
             for cfg in pending:
                 log.emit("run_started", config=config_to_dict(cfg), attempt=attempt)
                 futures[
-                    pool.submit(_simulate_cell, cfg, max_events, timeout, attempt)
+                    pool.submit(
+                        _simulate_cell, cfg, max_events, timeout, attempt, check
+                    )
                 ] = cfg
             for fut in as_completed(futures):
                 cfg = futures[fut]

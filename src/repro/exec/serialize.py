@@ -51,6 +51,10 @@ class RunRecord:
     attempts: int = 1
     #: True when this record came from the on-disk cache
     cached: bool = False
+    #: checker summary counters for runs executed with ``check=True``
+    #: ({"races": .., "false_sharing": .., "violations": ..,
+    #: "exempted": ..}); None for unchecked runs
+    check: Optional[Dict] = None
 
     @property
     def speedup(self) -> float:
@@ -102,6 +106,7 @@ class RunRecord:
             "error_type": self.error_type,
             "duration_s": self.duration_s,
             "attempts": self.attempts,
+            "check": self.check,
         }
 
     @classmethod
@@ -114,4 +119,5 @@ class RunRecord:
             error_type=d.get("error_type"),
             duration_s=d.get("duration_s", 0.0),
             attempts=d.get("attempts", 1),
+            check=d.get("check"),
         )

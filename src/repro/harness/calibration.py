@@ -4,7 +4,7 @@ network microbenchmark.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.apps import make_app
 from repro.cluster.config import MachineParams

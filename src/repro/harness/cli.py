@@ -9,6 +9,11 @@ Subcommands:
 * ``calibrate`` -- Table 1 and network-microbenchmark calibration.
 * ``classify`` -- the measured Table 2 classification.
 * ``report`` -- run the matrix and write a full markdown report.
+* ``check`` -- run cells under the race detector and protocol-invariant
+  sanitizer (:mod:`repro.check`); exit 1 on any finding.
+
+The sweeping subcommands also accept ``--check`` to run every matrix
+cell under the checkers (cells with findings are recorded as failed).
 """
 
 from __future__ import annotations
@@ -55,6 +60,11 @@ def _add_exec(p: argparse.ArgumentParser) -> None:
         help="per-run wall-clock limit; a cell over budget is recorded "
              "as failed instead of aborting the sweep",
     )
+    p.add_argument(
+        "--check", action="store_true",
+        help="run every cell under the race detector and invariant "
+             "sanitizer; cells with findings are recorded as failed",
+    )
 
 
 def _exec_options(args):
@@ -95,6 +105,7 @@ def cmd_figure1(args) -> int:
         cache=cache,
         events=events,
         timeout=args.timeout,
+        check=args.check,
     )
     print(speedup_table(results, apps, "Figure 1: speedups on 16 nodes"))
     print()
@@ -106,7 +117,7 @@ def cmd_faults(args) -> int:
     jobs, cache, events = _exec_options(args)
     results = sweep([args.app], mechanism=args.mechanism, scale=args.scale,
                     nprocs=args.nprocs, jobs=jobs, cache=cache, events=events,
-                    timeout=args.timeout)
+                    timeout=args.timeout, check=args.check)
     print(fault_table(results, args.app, f"Fault counts: {args.app}"))
     return 0
 
@@ -116,7 +127,7 @@ def cmd_hm(args) -> int:
     jobs, cache, events = _exec_options(args)
     results = sweep(apps, mechanism=args.mechanism, scale=args.scale,
                     nprocs=args.nprocs, jobs=jobs, cache=cache, events=events,
-                    timeout=args.timeout)
+                    timeout=args.timeout, check=args.check)
     matrix = SpeedupMatrix(results)
     speedups = matrix.speedups()
     if args.which == "best":
@@ -193,6 +204,42 @@ def cmd_classify(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Run cells under the checkers in-process; exit 1 on any finding."""
+    apps = args.apps.split(",") if args.apps else list(ORIGINAL_8)
+    protocols = args.protocols.split(",") if args.protocols else list(PROTOCOLS)
+    findings = 0
+    for app in apps:
+        for proto in protocols:
+            cfg = RunConfig(
+                app=app,
+                protocol=proto,
+                granularity=args.granularity,
+                mechanism=args.mechanism,
+                nprocs=args.nprocs,
+                scale=args.scale,
+            )
+            result = run_experiment(
+                cfg, check=True, check_granularity=args.race_granularity
+            )
+            rep = result.check
+            if rep.ok:
+                extras = ""
+                if rep.false_sharing_total:
+                    extras = f"  ({rep.false_sharing_total} false-sharing pair(s))"
+                print(f"ok   {cfg.label()}{extras}")
+            else:
+                findings += 1
+                print(f"FAIL {cfg.label()}")
+                for line in rep.describe().splitlines():
+                    print(f"     {line}")
+    if findings:
+        print(f"{findings} cell(s) with findings", file=sys.stderr)
+        return 1
+    print("all cells clean")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.harness.report import generate_report
 
@@ -207,6 +254,7 @@ def cmd_report(args) -> int:
         cache=cache,
         events=events,
         timeout=args.timeout,
+        check=args.check,
     )
     if args.out:
         with open(args.out, "w") as fh:
@@ -254,6 +302,22 @@ def main(argv=None) -> int:
     p = sub.add_parser("classify", help="measured Table 2 classification")
     _add_common(p)
     p.set_defaults(fn=cmd_classify)
+
+    p = sub.add_parser(
+        "check",
+        help="race-detect and invariant-check cells (exit 1 on findings)",
+    )
+    p.add_argument("--apps", default=None,
+                   help="comma-separated app subset (default: the original 8)")
+    p.add_argument("--protocols", default=None,
+                   help="comma-separated protocol subset (default: sc,swlrc,hlrc)")
+    p.add_argument("--granularity", type=int, default=4096,
+                   choices=list(GRANULARITIES))
+    p.add_argument("--race-granularity", default="word",
+                   help='race-detection unit: "byte", "word", "block" '
+                        "or a byte count (default word)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("report", help="full markdown reproduction report")
     p.add_argument("--out", default=None, help="output file (default stdout)")

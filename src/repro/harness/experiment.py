@@ -3,8 +3,8 @@ mechanism) run of the simulated cluster."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.apps import make_app
 from repro.apps.base import Application
@@ -12,6 +12,9 @@ from repro.cluster.config import MachineParams, NotificationMechanism
 from repro.cluster.machine import Machine
 from repro.runtime.program import run_program
 from repro.stats.counters import Stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.check import CheckReport
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,8 @@ class RunResult:
     stats: Stats
     app: Application
     machine: Machine
+    #: checker findings when run with check=True, else None
+    check: Optional["CheckReport"] = None
 
     @property
     def speedup(self) -> float:
@@ -45,9 +50,22 @@ class RunResult:
 
 
 def run_experiment(
-    cfg: RunConfig, max_events: Optional[int] = None, **app_overrides
+    cfg: RunConfig,
+    max_events: Optional[int] = None,
+    check: bool = False,
+    check_granularity="word",
+    **app_overrides,
 ) -> RunResult:
-    """Build the machine, set the application up, run it, return stats."""
+    """Build the machine, set the application up, run it, return stats.
+
+    ``check`` installs the :mod:`repro.check` race detector and
+    protocol-invariant sanitizer for this run and attaches their
+    findings as ``result.check``.  The checkers only observe, so a
+    checked run produces bit-identical stats; ``check`` is an execution
+    knob, *not* part of :class:`RunConfig` (and thus never part of a
+    result-cache key).  ``check_granularity`` is the race-detection
+    unit ("byte" | "word" | "block" | byte count).
+    """
     app = make_app(cfg.app, scale=cfg.scale, **app_overrides)
     params = MachineParams(
         n_nodes=cfg.nprocs,
@@ -60,6 +78,13 @@ def run_experiment(
         poll_dilation=app.poll_dilation,
         max_events=max_events,
     )
+    checkers = None
+    if check:
+        from repro.check import install_checkers
+
+        checkers = install_checkers(
+            machine, race_granularity=check_granularity
+        )
     app.setup(machine)
     result = run_program(
         machine,
@@ -67,4 +92,10 @@ def run_experiment(
         nprocs=cfg.nprocs,
         sequential_time_us=app.sequential_time_us(),
     )
-    return RunResult(config=cfg, stats=result.stats, app=app, machine=machine)
+    return RunResult(
+        config=cfg,
+        stats=result.stats,
+        app=app,
+        machine=machine,
+        check=checkers.report() if checkers is not None else None,
+    )

@@ -100,6 +100,7 @@ def sweep(
     events: Optional[EventLog] = None,
     timeout: Optional[float] = None,
     max_events: Optional[int] = None,
+    check: bool = False,
 ) -> Dict[RunConfig, RunRecord]:
     """Run the full matrix; returns config -> record.
 
@@ -108,11 +109,28 @@ def sweep(
     settings installed by :func:`configure`.  Failed cells (event
     budget, timeout) come back as records with ``ok=False`` rather than
     aborting the sweep.
+
+    ``check`` runs every cell under the :mod:`repro.check` race
+    detector and invariant sanitizer (cells with findings fail with
+    ``error_type='CheckFailure'``).  Checked records bypass the
+    in-process memo entirely -- they must neither serve nor shadow the
+    unchecked matrix cells -- and carry their own disk-cache key.
     """
     configs = matrix_configs(apps, protocols, granularities, mechanism, scale, nprocs)
     jobs = _DEFAULT_JOBS if jobs is None else jobs
     cache = _DEFAULT_DISK_CACHE if cache is None else cache
 
+    if check:
+        return execute_many(
+            configs,
+            jobs=jobs,
+            cache=cache,
+            events=events,
+            timeout=timeout,
+            max_events=max_events,
+            progress=progress,
+            check=True,
+        )
     fresh = [c for c in configs if c not in _CACHE]
     if fresh:
         records = execute_many(

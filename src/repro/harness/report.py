@@ -11,8 +11,8 @@ from __future__ import annotations
 import io
 from typing import Optional, Sequence
 
-from repro.apps import APP_NAMES, ORIGINAL_8, VERSION_GROUPS, make_app
-from repro.cluster.config import GRANULARITIES, MachineParams
+from repro.apps import APP_NAMES, ORIGINAL_8, VERSION_GROUPS
+from repro.cluster.config import GRANULARITIES
 from repro.harness.calibration import microbenchmark_rows, table1_rows
 from repro.harness.matrix import PROTOCOLS, SpeedupMatrix, sweep
 from repro.harness.tables import (
@@ -34,6 +34,7 @@ def generate_report(
     cache=None,
     events=None,
     timeout: Optional[float] = None,
+    check: bool = False,
 ) -> str:
     """Run the matrix and return the report as markdown text.
 
@@ -71,6 +72,7 @@ def generate_report(
         cache=cache,
         events=events,
         timeout=timeout,
+        check=check,
     )
     failed = [r for r in results.values() if r.stats is None]
     if failed:

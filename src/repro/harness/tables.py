@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.cluster.config import GRANULARITIES
-from repro.harness.experiment import RunResult
 from repro.harness.matrix import PROTOCOLS
 
 PROTO_LABEL = {"sc": "SC", "swlrc": "SW-LRC", "hlrc": "HLRC"}

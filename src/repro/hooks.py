@@ -1,0 +1,119 @@
+"""Instrumentation-hook interface for observing a running machine.
+
+Lives at the package root (not under ``repro.runtime``) because it must
+be importable from anywhere -- including ``repro.stats``, which package
+inits pull in before the runtime exists -- without creating a cycle.
+
+The runtime and synchronization services call these hooks at every
+observation point an external tool could care about: region accesses,
+write faults, lock acquire/release, barrier entry/exit, and the
+protocol-level sync payload application.  The base class is a no-op on
+every method, so a hook implementation overrides only what it needs
+(:class:`~repro.stats.classify.AccessTrace` records region shapes; the
+:mod:`repro.check` race detector consumes the full set).
+
+Design notes
+------------
+* ``Machine.hooks`` is ``None`` by default; the hot paths test that one
+  attribute instead of duck-typing with ``getattr``.  A simulation with
+  no hooks installed pays a single attribute load per region operation.
+* Hooks *observe* -- they must not yield simulated time, send messages,
+  or mutate machine state.  Installing hooks therefore never perturbs
+  event ordering: a hooked run produces bit-identical stats to an
+  unhooked one.
+* Multiple hooks compose through :class:`CompositeHooks`
+  (``Machine.add_hooks`` handles this automatically).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+
+class Hooks:
+    """No-op base class: the full observation interface."""
+
+    def on_region(self, node_id: int, addr: int, size: int, write: bool) -> None:
+        """A region read/write/touch issued by the application."""
+
+    def on_write_fault(self, node_id: int, block: int) -> None:
+        """A store is about to enter the protocol's write-fault path."""
+
+    def on_acquire(self, node_id: int, lock_id: int) -> None:
+        """A lock acquire completed (grant received, notices applied)."""
+
+    def on_release(self, node_id: int, lock_id: int) -> None:
+        """A lock release completed its protocol preparation."""
+
+    def on_barrier_enter(self, node_id: int, barrier_id: int, episode: int) -> None:
+        """A node arrived at a barrier (after its release preparation)."""
+
+    def on_barrier_exit(self, node_id: int, barrier_id: int, episode: int) -> None:
+        """A node left a barrier (release payload applied)."""
+
+    def on_sync_applied(self, node_id: int, payload: Any) -> None:
+        """A protocol sync payload (grant / barrier release) was applied."""
+
+    def on_release_done(self, node_id: int) -> None:
+        """``release_prepare`` finished: intervals closed, diffs flushed."""
+
+    def on_assume_disjoint(self, node_id: int, active: bool, reason: str) -> None:
+        """The application entered (``active=True``) or left an
+        ``assume_disjoint`` scope: its region touches model accesses
+        that the original program keeps element-disjoint or
+        phase-ordered, so conflict checkers must not flag them."""
+
+
+class CompositeHooks(Hooks):
+    """Fan every callback out to an ordered list of hooks."""
+
+    def __init__(self, hooks: List[Hooks]):
+        self.hooks = list(hooks)
+
+    def on_region(self, node_id: int, addr: int, size: int, write: bool) -> None:
+        for h in self.hooks:
+            h.on_region(node_id, addr, size, write)
+
+    def on_write_fault(self, node_id: int, block: int) -> None:
+        for h in self.hooks:
+            h.on_write_fault(node_id, block)
+
+    def on_acquire(self, node_id: int, lock_id: int) -> None:
+        for h in self.hooks:
+            h.on_acquire(node_id, lock_id)
+
+    def on_release(self, node_id: int, lock_id: int) -> None:
+        for h in self.hooks:
+            h.on_release(node_id, lock_id)
+
+    def on_barrier_enter(self, node_id: int, barrier_id: int, episode: int) -> None:
+        for h in self.hooks:
+            h.on_barrier_enter(node_id, barrier_id, episode)
+
+    def on_barrier_exit(self, node_id: int, barrier_id: int, episode: int) -> None:
+        for h in self.hooks:
+            h.on_barrier_exit(node_id, barrier_id, episode)
+
+    def on_sync_applied(self, node_id: int, payload: Any) -> None:
+        for h in self.hooks:
+            h.on_sync_applied(node_id, payload)
+
+    def on_release_done(self, node_id: int) -> None:
+        for h in self.hooks:
+            h.on_release_done(node_id)
+
+    def on_assume_disjoint(self, node_id: int, active: bool, reason: str) -> None:
+        for h in self.hooks:
+            h.on_assume_disjoint(node_id, active, reason)
+
+
+def add_hooks(machine, hook: Hooks) -> Hooks:
+    """Install ``hook`` on ``machine``, composing with existing hooks."""
+    current = machine.hooks
+    if current is None:
+        machine.hooks = hook
+    elif isinstance(current, CompositeHooks):
+        current.hooks.append(hook)
+    else:
+        machine.hooks = CompositeHooks([current, hook])
+    return hook

@@ -10,7 +10,7 @@ by the receiver-side handler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.sim.process import Future

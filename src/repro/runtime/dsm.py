@@ -18,6 +18,7 @@ feasible.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Generator, Optional, Union
 
 import numpy as np
@@ -66,6 +67,9 @@ class Dsm:
             # tag re-opens -- the paper's tables only count the former.)
             yield p.fault_exception_us + p.handler_base_us
             if write:
+                hooks = self.machine.hooks
+                if hooks is not None:
+                    hooks.on_write_fault(node.id, block)
                 yield from self._protocol.write_fault(node, block)
             else:
                 yield from self._protocol.read_fault(node, block)
@@ -76,9 +80,9 @@ class Dsm:
     def read(self, addr: int, size: int) -> Generator:
         """Read ``size`` bytes at ``addr``; returns a uint8 array."""
         node = self.node
-        trace = getattr(self.machine, "trace", None)
-        if trace is not None:
-            trace.record_region(size, write=False)
+        hooks = self.machine.hooks
+        if hooks is not None:
+            hooks.on_region(node.id, addr, size, False)
         out = np.empty(size, dtype=np.uint8)
         for block, off, roff, length in self._bs.block_slices(addr, size):
             yield from self._ensure(block, write=False)
@@ -88,9 +92,9 @@ class Dsm:
     def write(self, addr: int, data: Union[np.ndarray, bytes]) -> Generator:
         """Write bytes at ``addr`` through the coherence protocol."""
         node = self.node
-        trace = getattr(self.machine, "trace", None)
-        if trace is not None:
-            trace.record_region(len(data), write=True)
+        hooks = self.machine.hooks
+        if hooks is not None:
+            hooks.on_region(node.id, addr, len(data), True)
         data = np.asarray(
             np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray))
             else data,
@@ -103,9 +107,9 @@ class Dsm:
     def touch_read(self, addr: int, size: int) -> Generator:
         """Ensure read access to a region without materializing bytes
         (used by apps that only need the access-pattern effects)."""
-        trace = getattr(self.machine, "trace", None)
-        if trace is not None:
-            trace.record_region(size, write=False)
+        hooks = self.machine.hooks
+        if hooks is not None:
+            hooks.on_region(self.node.id, addr, size, False)
         for block in self._bs.blocks_in_region(addr, size):
             yield from self._ensure(block, write=False)
 
@@ -117,13 +121,40 @@ class Dsm:
         pattern per iteration to model real data changing).
         """
         node = self.node
-        trace = getattr(self.machine, "trace", None)
-        if trace is not None:
-            trace.record_region(size, write=True)
+        hooks = self.machine.hooks
+        if hooks is not None:
+            hooks.on_region(node.id, addr, size, True)
         for block, off, roff, length in self._bs.block_slices(addr, size):
             yield from self._ensure(block, write=True)
             if pattern >= 0:
                 node.store.block(block)[off : off + length] = pattern & 0xFF
+
+    # ------------------------------------------------------------------
+    # checker annotations
+    # ------------------------------------------------------------------
+    @contextmanager
+    def assume_disjoint(self, reason: str):
+        """Scope declaring that this node's region touches inside model
+        accesses the *original program* keeps conflict-free at element
+        level (red-black colours, private accumulation arrays merged
+        under locks, privately allocated pool entries), even though the
+        model's region-granularity touches overlap other processors'.
+
+        Pure annotation: it only notifies instrumentation hooks (the
+        :mod:`repro.check` race detector suppresses -- and separately
+        counts -- conflicts involving these accesses).  It costs no
+        simulated time and sends no messages, so annotated programs
+        produce bit-identical results.
+        """
+        hooks = self.machine.hooks
+        if hooks is not None:
+            hooks.on_assume_disjoint(self.node.id, True, reason)
+        try:
+            yield
+        finally:
+            hooks = self.machine.hooks
+            if hooks is not None:
+                hooks.on_assume_disjoint(self.node.id, False, reason)
 
     # ------------------------------------------------------------------
     # synchronization

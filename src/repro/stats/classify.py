@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Set
 
 from repro.cluster.config import PAGE_SIZE
+from repro.hooks import Hooks
 
 #: Section 5.2.1: minimum time to handle a synchronization event
 MIN_SYNC_HANDLING_US = 150.0
@@ -36,8 +37,15 @@ MULTI_WRITER_FRACTION = 0.25
 
 
 @dataclass
-class AccessTrace:
-    """Aggregated access observations for one run."""
+class AccessTrace(Hooks):
+    """Aggregated access observations for one run.
+
+    Implemented as an instrumentation hook (see
+    :mod:`repro.hooks`): region shapes arrive through
+    ``on_region`` and distinct writers per block through
+    ``on_write_fault`` (every writer of a block faults on it at least
+    once, so fault-level observation identifies all writers).
+    """
 
     writers_per_block: Dict[int, Set[int]] = field(default_factory=dict)
     read_accesses: int = 0
@@ -49,6 +57,14 @@ class AccessTrace:
     #: histogram of read-access sizes (communication-inducing accesses)
     read_sizes: Counter = field(default_factory=Counter)
 
+    # -- hook interface -------------------------------------------------
+    def on_region(self, node_id: int, addr: int, size: int, write: bool) -> None:
+        self.record_region(size, write)
+
+    def on_write_fault(self, node_id: int, block: int) -> None:
+        self.record_write(node_id, block)
+
+    # -- recording ------------------------------------------------------
     def record_write(self, node: int, block: int) -> None:
         self.writers_per_block.setdefault(block, set()).add(node)
 
@@ -177,20 +193,7 @@ def classify(trace: AccessTrace, stats) -> Classification:
 
 
 def install_trace(machine) -> AccessTrace:
-    """Attach an AccessTrace to a machine before running a program.
-
-    Region sizes are observed by the Dsm layer (``machine.trace``);
-    distinct writers per block are observed by wrapping the protocol's
-    write-fault entry point (every writer of a block faults on it at
-    least once, so fault-level observation identifies all writers).
-    """
+    """Attach an AccessTrace to a machine before running a program."""
     trace = AccessTrace()
-    machine.trace = trace
-    orig_write_fault = machine.protocol.write_fault
-
-    def traced_write_fault(node, block):
-        trace.record_write(node.id, block)
-        return orig_write_fault(node, block)
-
-    machine.protocol.write_fault = traced_write_fault
+    machine.add_hooks(trace)
     return trace

@@ -15,7 +15,7 @@ from the hot path and trivially aggregated.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

@@ -17,7 +17,7 @@ barrier object can be reused across iterations, like SPLASH-2's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.net.message import Message, notice_size
 from repro.sim.process import Future
@@ -51,7 +51,7 @@ class BarrierService:
     # ------------------------------------------------------------------
     # application side
     # ------------------------------------------------------------------
-    def barrier(self, node, barrier_id: int, participants: int = None) -> Generator:
+    def barrier(self, node, barrier_id: int, participants: Optional[int] = None) -> Generator:
         """Arrive at the barrier and wait for everyone.
 
         ``participants`` defaults to all nodes; programs running on a
@@ -66,6 +66,10 @@ class BarrierService:
         key = (node.id, barrier_id)
         episode = self._counts.get(key, 0)
         self._counts[key] = episode + 1
+        hooks = self.m.hooks
+        if hooks is not None:
+            hooks.on_release_done(node.id)
+            hooks.on_barrier_enter(node.id, barrier_id, episode)
         fut = Future(self.engine)
         vt = protocol.current_vt(node.id)
         vec_bytes = 4 * self.params.n_nodes if protocol.uses_notices else 0
@@ -88,6 +92,9 @@ class BarrierService:
         node.node_stats.barriers += 1
         payload = yield from node.wait(fut, "barrier_wait_us")
         yield from protocol.apply_sync(node, payload)
+        if hooks is not None:
+            hooks.on_sync_applied(node.id, payload)
+            hooks.on_barrier_exit(node.id, barrier_id, episode)
 
     # ------------------------------------------------------------------
     # message handlers

@@ -118,6 +118,10 @@ class LockService:
         node.node_stats.lock_acquires += 1
         # Apply write notices etc. in app context (may flush diffs).
         yield from protocol.apply_sync(node, payload["grant"])
+        hooks = self.m.hooks
+        if hooks is not None:
+            hooks.on_sync_applied(node.id, payload["grant"])
+            hooks.on_acquire(node.id, lock_id)
 
     def release(self, node, lock_id: int) -> Generator:
         """Release: close the interval (LRC), grant the successor."""
@@ -128,6 +132,12 @@ class LockService:
             )
         protocol = self.m.protocol
         yield from protocol.release_prepare(node)
+        hooks = self.m.hooks
+        if hooks is not None:
+            # Fires before any successor's grant leaves this node, so a
+            # happens-before observer sees release -> grant -> acquire.
+            hooks.on_release_done(node.id)
+            hooks.on_release(node.id, lock_id)
         st.holding = False
         st.last_completed_seq = st.cur_seq
         while st.waiters and st.waiters[0][3] == st.cur_seq + 1:

@@ -1,0 +1,276 @@
+#!/usr/bin/env python3
+"""Simulator-specific AST lint (the repro.check static pass).
+
+General-purpose linters cannot know this codebase's discrete-event
+rules, so this tool checks the conventions that keep the simulation
+deterministic and the protocol engine sound:
+
+* **SIM001** -- wall-clock time (``time.time``/``monotonic``/
+  ``perf_counter``, ``datetime.now``/``utcnow``) inside simulation
+  packages.  Simulated code must read ``engine.now``; wall-clock reads
+  make runs host-dependent.  Host-side packages (``exec``, ``harness``,
+  ``analysis``) are exempt -- timeouts and progress reporting are
+  their job.
+* **SIM002** -- unseeded randomness (module-level ``random.*`` /
+  ``numpy.random.*`` calls, or ``random.Random()`` /
+  ``default_rng()`` / ``RandomState()`` without a seed argument)
+  inside simulation packages.  Anything stochastic must derive from an
+  explicit seed or the runs are not reproducible.
+* **SIM003** -- ``yield from self.NAME(...)`` where ``NAME`` is a
+  method of the same class that contains no ``yield``.  Delegating to
+  a non-generator raises ``TypeError`` only when the call is actually
+  reached, so these bugs hide in rarely-taken branches.  Methods that
+  only ``raise`` (abstract stubs) are exempt: subclasses override them
+  with real generators.
+* **SIM004** -- a ``_h_*`` message handler containing ``yield``.
+  Handlers are dispatched as plain calls from the protocol engine
+  (``core/protocol.py``); a generator handler would be created and
+  silently never run.
+* **SIM005** -- touching a private attribute of an engine object
+  (``engine._queue``, ``self.engine._now``, ...) outside
+  ``sim/engine.py``.  The engine's public surface (``now``,
+  ``schedule``, ``run``...) is the contract; reaching into its state
+  breaks when the event-loop internals change.
+
+Suppress a finding with ``# noqa`` or ``# noqa: SIM00x`` on the line.
+
+Usage: ``python tools/lint_sim.py [paths...]`` (default: ``src/repro``
+and ``tools``).  Exits 1 if anything is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+#: repro subpackages whose code runs *inside* the simulation -- the
+#: determinism rules (SIM001/SIM002) apply only here
+SIM_PACKAGES = (
+    "repro/sim", "repro/core", "repro/runtime", "repro/sync",
+    "repro/cluster", "repro/memory", "repro/net", "repro/apps",
+    "repro/stats", "repro/check",
+)
+
+#: wall-clock reads (module attr -> function names)
+WALL_CLOCK = {
+    "time": {"time", "monotonic", "perf_counter", "time_ns",
+             "monotonic_ns", "perf_counter_ns"},
+    "datetime": {"now", "utcnow", "today"},
+}
+
+#: seeded-generator constructors: fine *with* a seed argument
+SEEDED_CTORS = {"Random", "default_rng", "RandomState"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, code: str, message: str):
+        self.path = path
+        self.line = line
+        self.code = code
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _contains_yield(fn: ast.FunctionDef) -> bool:
+    for sub in ast.walk(fn):
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def _is_abstract_stub(fn: ast.FunctionDef) -> bool:
+    """A body that only raises (after an optional docstring)."""
+    body = fn.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    return bool(body) and all(isinstance(st, ast.Raise) for st in body)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, in_sim: bool, is_engine: bool):
+        self.path = path
+        self.in_sim = in_sim
+        self.is_engine = is_engine
+        self.findings: List[Finding] = []
+        #: (class node, {method name: def node}) stack
+        self._class_stack: List[Tuple[ast.ClassDef, dict]] = []
+
+    def flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno, code, message))
+
+    # -- class / method context ----------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        methods = {
+            st.name: st
+            for st in node.body
+            if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self._class_stack.append((node, methods))
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name.startswith("_h_") and _contains_yield(node):
+            self.flag(
+                node, "SIM004",
+                f"message handler {node.name} contains yield; handlers "
+                "are plain calls -- a generator handler never runs",
+            )
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    # -- SIM003: yield from self.<non-generator>() ---------------------
+    def visit_YieldFrom(self, node: ast.YieldFrom) -> None:
+        call = node.value
+        if (
+            self._class_stack
+            and isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        ):
+            target = self._class_stack[-1][1].get(call.func.attr)
+            if (
+                target is not None
+                and isinstance(target, ast.FunctionDef)
+                and not _contains_yield(target)
+                and not _is_abstract_stub(target)
+            ):
+                self.flag(
+                    node, "SIM003",
+                    f"yield from self.{call.func.attr}(...) but "
+                    f"{call.func.attr} (line {target.lineno}) never "
+                    "yields -- not a generator",
+                )
+        self.generic_visit(node)
+
+    # -- SIM001 / SIM002: calls ----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name and self.in_sim:
+            self._check_wall_clock(node, name)
+            self._check_random(node, name)
+        self.generic_visit(node)
+
+    def _check_wall_clock(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[-2] in WALL_CLOCK:
+            if parts[-1] in WALL_CLOCK[parts[-2]]:
+                self.flag(
+                    node, "SIM001",
+                    f"wall-clock read {name}() in simulation code; "
+                    "use engine.now",
+                )
+
+    def _check_random(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if len(parts) < 2 or "random" not in parts[:-1]:
+            return
+        tail = parts[-1]
+        if tail == "seed":
+            return  # explicit seeding is the fix, not the bug
+        if tail in SEEDED_CTORS:
+            if not node.args and not node.keywords:
+                self.flag(
+                    node, "SIM002",
+                    f"{name}() without a seed in simulation code",
+                )
+            return
+        self.flag(
+            node, "SIM002",
+            f"module-level {name}() shares unseeded global state; "
+            "use a seeded generator",
+        )
+
+    # -- SIM005: engine privates ---------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            not self.is_engine
+            and node.attr.startswith("_")
+            and not node.attr.startswith("__")
+        ):
+            base = _dotted(node.value)
+            if base and base.split(".")[-1] == "engine":
+                self.flag(
+                    node, "SIM005",
+                    f"access to engine private {base}.{node.attr}; "
+                    "use the engine's public interface",
+                )
+        self.generic_visit(node)
+
+
+def _noqa_lines(source: str) -> dict:
+    """line number -> set of suppressed codes (empty set = all)."""
+    out = {}
+    for i, line in enumerate(source.splitlines(), 1):
+        if "# noqa" not in line:
+            continue
+        _, _, rest = line.partition("# noqa")
+        rest = rest.strip()
+        if rest.startswith(":"):
+            out[i] = {c.strip() for c in rest[1:].split(",")}
+        else:
+            out[i] = set()
+    return out
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, "SIM000", f"syntax error: {exc.msg}")]
+    posix = path.as_posix()
+    linter = _Linter(
+        path,
+        in_sim=any(p in posix for p in SIM_PACKAGES),
+        is_engine=posix.endswith("repro/sim/engine.py"),
+    )
+    linter.visit(tree)
+    noqa = _noqa_lines(source)
+    return [
+        f for f in linter.findings
+        if not (f.line in noqa and (not noqa[f.line] or f.code in noqa[f.line]))
+    ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = (argv if argv is not None else sys.argv[1:]) or ["src/repro", "tools"]
+    findings: List[Finding] = []
+    n_files = 0
+    for arg in args:
+        root = Path(arg)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for f in files:
+            n_files += 1
+            findings.extend(lint_file(f))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"{len(findings)} finding(s) in {n_files} file(s)", file=sys.stderr)
+        return 1
+    print(f"lint_sim: {n_files} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
