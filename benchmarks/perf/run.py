@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Run the simulator-core perf suite.
+
+Thin wrapper over ``repro-dsm perf`` so the suite lives next to the
+other benchmarks.  All flags pass through::
+
+    python benchmarks/perf/run.py                     # measure + print
+    python benchmarks/perf/run.py --against BENCH_simcore.json
+    python benchmarks/perf/run.py --against BENCH_simcore.json --update
+
+See docs/PERFORMANCE.md for what each micro measures and how to update
+the committed baseline honestly.
+"""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(["perf", *sys.argv[1:]]))

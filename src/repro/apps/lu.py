@@ -53,14 +53,24 @@ class LUApp(Application):
         self.nb = n // block
         self.block_bytes = block * block * ELEM
         self._addr: Dict[Tuple[int, int], int] = {}
+        self._grid: Dict[int, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
+    def grid_dims(self, nprocs: int) -> Tuple[int, int]:
+        """(rows, cols) of the ~square processor grid, memoized --
+        ``owner`` runs in the innermost factorization loop."""
+        dims = self._grid.get(nprocs)
+        if dims is None:
+            pr = int(math.sqrt(nprocs))
+            while nprocs % pr:
+                pr -= 1
+            dims = (pr, nprocs // pr)
+            self._grid[nprocs] = dims
+        return dims
+
     def owner(self, bi: int, bj: int, nprocs: int) -> int:
         """2-D scatter decomposition of blocks over a ~square grid."""
-        pr = int(math.sqrt(nprocs))
-        while nprocs % pr:
-            pr -= 1
-        pc = nprocs // pr
+        pr, pc = self.grid_dims(nprocs)
         return (bi % pr) * pc + (bj % pc)
 
     def work_units(self) -> float:
@@ -110,7 +120,8 @@ class LUApp(Application):
         nb = self.nb
         c = self._unit_cost()
         bb = self.block_bytes
-        own = lambda bi, bj: self.owner(bi, bj, nprocs) == rank
+        pr, pc = self.grid_dims(nprocs)
+        own = lambda bi, bj: (bi % pr) * pc + (bj % pc) == rank
 
         for k in range(nb):
             # -- diagonal factorization by its owner

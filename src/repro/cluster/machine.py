@@ -55,6 +55,8 @@ class Machine:
         self.protocol = make_protocol(protocol, self)
         self.locks = LockService(self)
         self.barriers = BarrierService(self)
+        #: message-type -> bound service handler, filled lazily
+        self._route: dict = {}
 
     def add_hooks(self, hook) -> None:
         """Install an instrumentation hook (composes with existing ones)."""
@@ -70,12 +72,18 @@ class Machine:
 
     def _dispatch(self, node: Node, msg: Message) -> None:
         t = msg.mtype
-        if t.startswith("lock_"):
-            self.locks.on_message(node, msg)
-        elif t.startswith("barrier_"):
-            self.barriers.on_message(node, msg)
-        else:
-            self.protocol.on_message(node, msg)
+        handler = self._route.get(t)
+        if handler is None:
+            # Resolve the service once per message type; the prefix
+            # test runs once instead of twice per delivered message.
+            if t.startswith("lock_"):
+                handler = self.locks.on_message
+            elif t.startswith("barrier_"):
+                handler = self.barriers.on_message
+            else:
+                handler = self.protocol.on_message
+            self._route[t] = handler
+        handler(node, msg)
 
     # ------------------------------------------------------------------
     # setup-time helpers (pre-parallel phase, zero simulated cost)

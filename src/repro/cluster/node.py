@@ -87,6 +87,7 @@ class Node:
         self.store = NodeStore(params.granularity)
         self.poll_dilation = poll_dilation
         self._handler_busy_until = 0.0
+        self._polling = params.mechanism is NotificationMechanism.POLLING
 
     # ------------------------------------------------------------------
     # message arrival
@@ -94,27 +95,32 @@ class Node:
     def deliver(self, msg: Message) -> None:
         """Called by the network at wire-arrival time."""
         now = self.engine.now
-        delay = self._notification_delay()
+        p = self.params
+        computing = self.cpu.state == COMPUTE
+        if not computing:
+            delay = p.blocked_poll_us
+        elif self._polling:
+            delay = p.poll_backedge_gap_us + p.poll_round_trip_us
+        else:
+            delay = p.interrupt_us
         cost = msg.handle_cost_us
         start = max(now + delay, self._handler_busy_until)
         self._handler_busy_until = start + cost
         self.node_stats.handler_us += cost
-        if self.cpu.state == COMPUTE:
+        if computing:
             # Steal cycles from the in-progress compute segment.
             self.cpu.debt += cost
-        # The handler's effects become visible when it finishes.
-        self.engine.schedule(start + cost - now, self._run_handler, msg)
+        # The handler's effects become visible when it finishes; the
+        # dispatch callback is scheduled directly (no wrapper frame).
+        self.engine.post(start + cost - now, self._handle_message, self, msg)
 
     def _notification_delay(self) -> float:
         p = self.params
         if self.cpu.state != COMPUTE:
             return p.blocked_poll_us
-        if p.mechanism is NotificationMechanism.POLLING:
+        if self._polling:
             return p.poll_backedge_gap_us + p.poll_round_trip_us
         return p.interrupt_us
-
-    def _run_handler(self, msg: Message) -> None:
-        self._handle_message(self, msg)
 
     # ------------------------------------------------------------------
     # application-side effects (generators run inside the app process)
@@ -126,7 +132,7 @@ class Node:
             raise ValueError(f"negative compute time {us}")
         if us == 0:
             return
-        if self.params.mechanism is NotificationMechanism.POLLING:
+        if self._polling:
             us *= 1.0 + self.poll_dilation
         self.node_stats.compute_us += us
         prev_state = self.cpu.state

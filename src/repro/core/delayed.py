@@ -62,7 +62,7 @@ class DelayedSCProtocol(SCProtocol):
         self._delayed[node.id].append(msg)
         if not self._flush_scheduled[node.id]:
             self._flush_scheduled[node.id] = True
-            self.engine.schedule(self.DELAY_US, self._flush, node)
+            self.engine.post(self.DELAY_US, self._flush, node)
         return True
 
     def _flush(self, node) -> None:

@@ -50,18 +50,28 @@ def create_diff(block: int, dirty: np.ndarray, twin: np.ndarray) -> Diff:
     """Compare a dirty copy against its twin and extract changed runs."""
     if dirty.shape != twin.shape:
         raise ValueError("dirty/twin shape mismatch")
-    neq = dirty != twin
-    idx = np.flatnonzero(neq)
+    # Fast path: unchanged block (write fault taken, same bytes stored
+    # back).  A memoryview compare is a single C memcmp for the
+    # contiguous uint8 blocks the storage layer hands us -- much
+    # cheaper than materializing the inequality mask.
+    if dirty.data == twin.data:
+        return Diff(block=block, runs=[])
+    idx = np.flatnonzero(dirty != twin)
+    lo = int(idx[0])
+    hi = int(idx[-1]) + 1
+    if hi - lo == idx.size:
+        # Single contiguous run (a sequential sweep over the block):
+        # skip the run-splitting machinery entirely.
+        return Diff(block=block, runs=[(lo, dirty[lo:hi].copy())])
     runs: List[Tuple[int, np.ndarray]] = []
-    if idx.size:
-        # Split the changed-byte indices into maximal contiguous runs.
-        breaks = np.flatnonzero(np.diff(idx) > 1)
-        starts = np.concatenate(([0], breaks + 1))
-        ends = np.concatenate((breaks, [idx.size - 1]))
-        for s, e in zip(starts, ends):
-            lo = int(idx[s])
-            hi = int(idx[e]) + 1
-            runs.append((lo, dirty[lo:hi].copy()))
+    # Split the changed-byte indices into maximal contiguous runs.
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    for s, e in zip(starts, ends):
+        lo = int(idx[s])
+        hi = int(idx[e]) + 1
+        runs.append((lo, dirty[lo:hi].copy()))
     return Diff(block=block, runs=runs)
 
 
@@ -70,10 +80,12 @@ def apply_diff(target: np.ndarray, diff: Diff) -> int:
     written = 0
     n = len(target)
     for off, data in diff.runs:
-        if off < 0 or off + len(data) > n:
+        size = len(data)
+        end = off + size
+        if off < 0 or end > n:
             raise ValueError(
-                f"diff run [{off}, {off + len(data)}) outside block of {n} bytes"
+                f"diff run [{off}, {end}) outside block of {n} bytes"
             )
-        target[off : off + len(data)] = data
-        written += len(data)
+        target[off:end] = data
+        written += size
     return written

@@ -56,6 +56,10 @@ class ERCProtocol(CoherenceProtocol):
         #: (node, block) faults in flight + those an inval raced past
         self._inflight: Set[tuple] = set()
         self._poisoned: Set[tuple] = set()
+        #: home-side open invalidation transactions per block, and the
+        #: fetch requests parked until they close (see _h_fetch_req)
+        self._storms: Dict[int, int] = {}
+        self._parked: Dict[int, List[Message]] = {}
 
     def _register_handlers(self) -> None:
         self._register_common()
@@ -146,7 +150,7 @@ class ERCProtocol(CoherenceProtocol):
                 # that the racing invalidation covers: usable for the
                 # access that faulted, but not cacheable.
                 self._poisoned.discard(key)
-                self.engine.schedule(0.0, self._late_invalidate, node, block)
+                self.engine.post(0.0, self._late_invalidate, node, block)
 
     def _late_invalidate(self, node, block: int) -> None:
         if node.access.invalidate(block):
@@ -217,6 +221,14 @@ class ERCProtocol(CoherenceProtocol):
                 self.home.claim_first_touch(block, node.id)
         if self.forward_if_not_home(node, msg):
             return
+        if self._storms.get(block):
+            # An eager-release invalidation transaction is open for this
+            # block: a snapshot taken now could miss a concurrent
+            # writer's piggybacked diff that merges before the storm
+            # closes, and nothing would ever invalidate the requester's
+            # copy.  Park the request until the storm completes.
+            self._parked.setdefault(block, []).append(msg)
+            return
         requester, _ = self.requester_of(msg)
         self.copyset.setdefault(block, set()).add(requester)
         self.send(
@@ -242,6 +254,11 @@ class ERCProtocol(CoherenceProtocol):
     def _invalidate_copies(self, home_node, block: int, writer: int,
                            latch: CountdownLatch, remote_ack: int = None
                            ) -> None:
+        # Open an invalidation transaction: fetches of this block park
+        # until it closes (_release_ack), so no node can cache a
+        # mid-storm snapshot that a piggybacked diff then invalidates
+        # behind its back.
+        self._storms[block] = self._storms.get(block, 0) + 1
         targets = [
             c for c in self.copyset.get(block, ())
             if c not in (writer, home_node.id)
@@ -276,6 +293,15 @@ class ERCProtocol(CoherenceProtocol):
                 self.copyset[block] = set()
             self.send(home_node.id, remote_ack, "erc_flush_ack",
                       block=block, payload={"latch": latch, "stale": stale})
+        # Close the transaction; serve fetches parked behind it (they
+        # now snapshot the fully merged home copy).
+        remaining = self._storms[block] - 1
+        if remaining:
+            self._storms[block] = remaining
+            return
+        del self._storms[block]
+        for parked in self._parked.pop(block, ()):
+            self._h_fetch_req(home_node, parked)
 
     def _h_flush_ack(self, node, msg: Message) -> None:
         if msg.payload["stale"]:

@@ -197,6 +197,32 @@ class HLRCProtocol(LRCBase):
         if node.access.invalidate(wn.block):
             self.stats.invalidations += 1
 
+    def _apply_notices(self, node, notices) -> Generator:
+        # Flat-loop batch form of _apply_notice (see LRCBase).  A block
+        # repeated across the payload's intervals is invalidated (and
+        # its twin flushed) by its first foreign notice; later repeats
+        # find no twin and an already-invalid tag, so they are skipped
+        # outright.
+        nid = node.id
+        twins = self.twins[nid]
+        is_home = self._is_home
+        invalidate = node.access.invalidate
+        stats = self.stats
+        seen = set()
+        for wn in notices:
+            if wn.owner == nid:
+                continue
+            block = wn.block
+            if block in seen:
+                continue
+            seen.add(block)
+            if is_home(nid, block):
+                continue
+            if block in twins:
+                yield from self._flush_one(node, block)
+            if invalidate(block):
+                stats.invalidations += 1
+
     def _flush_one(self, node, block: int) -> Generator:
         p = self.params
         twin = self.twins[node.id].pop(block)

@@ -187,7 +187,7 @@ class SCProtocol(CoherenceProtocol):
         deferred = self._deferred_recalls.pop(key, None)
         if poisoned or deferred:
             self._settling.add(key)
-            self.engine.schedule(
+            self.engine.post(
                 0.0, self._apply_deferred, node, block, poisoned, deferred or []
             )
 

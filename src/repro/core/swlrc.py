@@ -394,3 +394,40 @@ class SWLRCProtocol(LRCBase):
             self.version[node.id].pop(wn.block, None)
         return
         yield  # pragma: no cover - generator protocol
+
+    def _apply_notices(self, node, notices) -> Generator:
+        # Flat-loop batch form of _apply_notice (see LRCBase).  Barrier
+        # payloads repeat blocks across many intervals; per block only
+        # the highest-version notice has any effect (the hint keeps the
+        # max version, and one invalidation covers every lower version),
+        # so aggregate first and touch each block once.  The first
+        # notice reaching the max version wins, matching the sequential
+        # loop's strict-greater hint update.
+        nid = node.id
+        best: dict = {}
+        for wn in notices:
+            if wn.owner == nid:
+                continue
+            block = wn.block
+            cur = best.get(block)
+            if cur is None or wn.version > cur.version:
+                best[block] = wn
+        hint = self.hint[nid]
+        version = self.version[nid]
+        owned = self.owned[nid]
+        invalidate = node.access.invalidate
+        stats = self.stats
+        for block, wn in best.items():
+            wv = wn.version
+            cur = hint.get(block)
+            if cur is None or wv > cur[0]:
+                hint[block] = (wv, wn.owner)
+            my_version = version.get(block)
+            if my_version is not None and my_version >= wv:
+                continue
+            owned.discard(block)
+            if invalidate(block):
+                stats.invalidations += 1
+                version.pop(block, None)
+        return
+        yield  # pragma: no cover - generator protocol

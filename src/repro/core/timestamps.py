@@ -49,10 +49,14 @@ class VectorClock:
         return out
 
     def merge(self, other: Sequence[int]) -> None:
+        # Hot path (every grant/barrier application): index arithmetic
+        # beats enumerate's per-element tuple here.
         v = self.v
-        for i, x in enumerate(other):
+        i = 0
+        for x in other:
             if x > v[i]:
                 v[i] = x
+            i += 1
 
     def tick(self, node: int) -> int:
         """Start a new interval for ``node``; returns the new count."""
@@ -69,7 +73,14 @@ class VectorClock:
         return tuple(self.v)
 
     def dominates(self, other: Sequence[int]) -> bool:
-        return all(a >= b for a, b in zip(self.v, other))
+        # Early-exit explicit loop: no zip tuples, no generator frame.
+        v = self.v
+        i = 0
+        for x in other:
+            if v[i] < x:
+                return False
+            i += 1
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"VC{self.v}"
@@ -101,11 +112,13 @@ class IntervalLog:
         """All notices in intervals the acquirer (``seen``) lacks,
         bounded by what the granter has seen (``upto``)."""
         out: List[WriteNotice] = []
+        log = self._log
+        extend = out.extend
         for i in range(self.n_nodes):
             lo, hi = seen[i], upto[i]
             if hi > lo:
-                for k in range(lo, hi):
-                    out.extend(self._log[i][k])
+                for interval in log[i][lo:hi]:
+                    extend(interval)
         return out
 
     @staticmethod

@@ -64,47 +64,70 @@ class Hooks:
         phase-ordered, so conflict checkers must not flag them."""
 
 
+#: Every observation point of the interface, in declaration order.
+HOOK_METHODS = (
+    "on_region",
+    "on_write_fault",
+    "on_acquire",
+    "on_release",
+    "on_barrier_enter",
+    "on_barrier_exit",
+    "on_sync_applied",
+    "on_release_done",
+    "on_assume_disjoint",
+)
+
+
+def _noop(*_args: Any) -> None:
+    """Shared per-method no-op for collapsed composite slots."""
+
+
+def _fanout(impls: List[Any]):
+    def call(*args: Any) -> None:
+        for m in impls:
+            m(*args)
+
+    return call
+
+
 class CompositeHooks(Hooks):
-    """Fan every callback out to an ordered list of hooks."""
+    """Fan every callback out to an ordered list of hooks.
+
+    The fan-out is *collapsed at wire-up time*, not dispatched per
+    call: for each observation point, :meth:`_collapse` binds an
+    instance attribute that is the shared no-op (nobody overrides it),
+    the single overriding hook's bound method (no extra frame), or a
+    closure over the overriding subset.  ``on_region`` fires for every
+    shared access of an instrumented run, so skipping hooks that left a
+    method as the base-class no-op matters.  Mutate :attr:`hooks`
+    through :meth:`add` so the collapsed slots stay in sync.
+    """
 
     def __init__(self, hooks: List[Hooks]):
         self.hooks = list(hooks)
+        self._collapse()
 
-    def on_region(self, node_id: int, addr: int, size: int, write: bool) -> None:
-        for h in self.hooks:
-            h.on_region(node_id, addr, size, write)
+    def add(self, hook: Hooks) -> None:
+        """Append ``hook`` and refresh the collapsed dispatch slots."""
+        self.hooks.append(hook)
+        self._collapse()
 
-    def on_write_fault(self, node_id: int, block: int) -> None:
-        for h in self.hooks:
-            h.on_write_fault(node_id, block)
-
-    def on_acquire(self, node_id: int, lock_id: int) -> None:
-        for h in self.hooks:
-            h.on_acquire(node_id, lock_id)
-
-    def on_release(self, node_id: int, lock_id: int) -> None:
-        for h in self.hooks:
-            h.on_release(node_id, lock_id)
-
-    def on_barrier_enter(self, node_id: int, barrier_id: int, episode: int) -> None:
-        for h in self.hooks:
-            h.on_barrier_enter(node_id, barrier_id, episode)
-
-    def on_barrier_exit(self, node_id: int, barrier_id: int, episode: int) -> None:
-        for h in self.hooks:
-            h.on_barrier_exit(node_id, barrier_id, episode)
-
-    def on_sync_applied(self, node_id: int, payload: Any) -> None:
-        for h in self.hooks:
-            h.on_sync_applied(node_id, payload)
-
-    def on_release_done(self, node_id: int) -> None:
-        for h in self.hooks:
-            h.on_release_done(node_id)
-
-    def on_assume_disjoint(self, node_id: int, active: bool, reason: str) -> None:
-        for h in self.hooks:
-            h.on_assume_disjoint(node_id, active, reason)
+    def _collapse(self) -> None:
+        for name in HOOK_METHODS:
+            base = getattr(Hooks, name)
+            impls = []
+            for h in self.hooks:
+                m = getattr(h, name)
+                if m is _noop:
+                    continue
+                if getattr(m, "__func__", m) is not base:
+                    impls.append(m)
+            if not impls:
+                setattr(self, name, _noop)
+            elif len(impls) == 1:
+                setattr(self, name, impls[0])
+            else:
+                setattr(self, name, _fanout(impls))
 
 
 def add_hooks(machine, hook: Hooks) -> Hooks:
@@ -113,7 +136,7 @@ def add_hooks(machine, hook: Hooks) -> Hooks:
     if current is None:
         machine.hooks = hook
     elif isinstance(current, CompositeHooks):
-        current.hooks.append(hook)
+        current.add(hook)
     else:
         machine.hooks = CompositeHooks([current, hook])
     return hook

@@ -26,10 +26,15 @@ def tag_name(tag: int) -> str:
 class AccessControl:
     """Per-node block tag table (one instance per node)."""
 
-    __slots__ = ("_tags",)
+    __slots__ = ("_tags", "permits_read")
 
     def __init__(self) -> None:
         self._tags: Dict[int, int] = {}
+        #: fast-path alias: a block permits reads iff it has any tag
+        #: (the table is sparse, INVALID entries are never stored), so
+        #: read-permission checks are a bound dict.__contains__ -- one
+        #: C call on the region-access hot path.
+        self.permits_read = self._tags.__contains__
 
     def tag(self, block: int) -> int:
         return self._tags.get(block, INV)

@@ -44,6 +44,13 @@ class Network:
         self._deliver = deliver
         #: per-node time at which the NIC becomes free to inject
         self._nic_free: List[float] = [0.0] * params.n_nodes
+        #: hop latency precomputed per (src, dst) -- the topology is
+        #: static, so no reason to recompute switch distances per send
+        n = params.n_nodes
+        self._hop_us: List[List[float]] = [
+            [hops_between(a, b) * params.switch_hop_us for b in range(n)]
+            for a in range(n)
+        ]
 
     def send(self, msg: Message) -> None:
         """Inject a message; schedules its delivery at the destination."""
@@ -55,7 +62,7 @@ class Network:
         now = self.engine.now
         if msg.src == msg.dst:
             self.stats.local_msgs += 1
-            self.engine.schedule(LOCAL_DELIVERY_US, self._deliver, msg)
+            self.engine.post(LOCAL_DELIVERY_US, self._deliver, msg)
             return
 
         self.stats.record_message(msg.mtype, msg.size_bytes)
@@ -64,8 +71,8 @@ class Network:
         start = max(now, self._nic_free[msg.src])
         self._nic_free[msg.src] = start + p.nic_occupancy_us(msg.size_bytes)
         latency = p.one_way_latency_us(msg.size_bytes)
-        latency += hops_between(msg.src, msg.dst) * p.switch_hop_us
-        self.engine.schedule(start + latency - now, self._deliver, msg)
+        latency += self._hop_us[msg.src][msg.dst]
+        self.engine.post(start + latency - now, self._deliver, msg)
 
     def nic_free_at(self, node: int) -> float:
         """When the node's NIC can next inject (diagnostics/tests)."""

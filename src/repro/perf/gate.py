@@ -1,0 +1,358 @@
+"""Run the perf suite, persist baselines, and gate regressions.
+
+``run_suite`` times every micro in :data:`repro.perf.micros.MICROS`
+(median + MAD over N reps after a warmup), derives throughputs, and
+profiles one full cell to attribute wall time to subsystems.  The
+result serializes to the ``BENCH_simcore.json`` schema:
+
+.. code-block:: json
+
+    {
+      "schema": 1,
+      "pyversion": "3.11.9",
+      "reps": 5,
+      "calibration": {"spin_ms": 21.4},
+      "micros": {
+        "engine_churn": {"median_ms": 55.1, "mad_ms": 0.4,
+                         "times_ms": [...], "events_per_sec": 911000,
+                         "stats_sha": null},
+        "full_cell_hlrc": {"median_ms": 9.8, "...": "...",
+                           "runs_per_sec": 102.0,
+                           "stats_sha": "1f0c0a..."}
+      },
+      "subsystem_shares": {"engine": 0.24, "protocol": 0.31, "...": 0}
+    }
+
+``compare`` is the regression gate: per micro, the baseline median is
+scaled by the ratio of *calibration* times (so a slower machine is not
+a regression) and the current median must stay within ``tolerance``
+(default 15%) of that expectation.  Differing ``stats_sha`` values are
+reported as determinism failures regardless of timing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.perf.micros import MICROS, MicroFn, calibration_spin
+
+SCHEMA_VERSION = 1
+
+#: default gate tolerance: >15% calibrated median slowdown fails
+DEFAULT_TOLERANCE = 0.15
+
+#: repo-root baseline file name
+BASELINE_NAME = "BENCH_simcore.json"
+
+
+class PerfError(RuntimeError):
+    """A micro misbehaved (non-deterministic reps, unknown name...)."""
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+@dataclass
+class MicroResult:
+    name: str
+    times_ms: List[float]
+    counts: Dict[str, int]
+    stats_sha: Optional[str]
+
+    @property
+    def median_ms(self) -> float:
+        return statistics.median(self.times_ms)
+
+    @property
+    def mad_ms(self) -> float:
+        med = self.median_ms
+        return statistics.median(abs(t - med) for t in self.times_ms)
+
+    def throughputs(self) -> Dict[str, float]:
+        """events/sec, ops/sec, runs/sec -- whatever the counts allow."""
+        out: Dict[str, float] = {}
+        sec = self.median_ms / 1000.0
+        for unit in ("events", "ops", "runs"):
+            n = self.counts.get(unit)
+            if n and sec > 0:
+                out[f"{unit}_per_sec"] = n / sec
+        return out
+
+    def to_dict(self) -> Dict:
+        d: Dict = {
+            "median_ms": round(self.median_ms, 4),
+            "mad_ms": round(self.mad_ms, 4),
+            "times_ms": [round(t, 4) for t in self.times_ms],
+            "stats_sha": self.stats_sha,
+        }
+        for k, v in sorted(self.throughputs().items()):
+            d[k] = round(v, 2)
+        return d
+
+
+@dataclass
+class SuiteResult:
+    reps: int
+    calibration_ms: float
+    micros: Dict[str, MicroResult]
+    subsystem_shares: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "pyversion": platform.python_version(),
+            "reps": self.reps,
+            "calibration": {"spin_ms": round(self.calibration_ms, 4)},
+            "micros": {n: m.to_dict() for n, m in self.micros.items()},
+            "subsystem_shares": {
+                k: round(v, 4) for k, v in self.subsystem_shares.items()
+            },
+        }
+
+
+def _time_once(fn: MicroFn):
+    t0 = time.perf_counter()
+    counts, sha = fn()
+    return (time.perf_counter() - t0) * 1000.0, counts, sha
+
+
+def _measure(name: str, fn: MicroFn, reps: int, warmup: int) -> MicroResult:
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    shas = set()
+    counts: Dict[str, int] = {}
+    for _ in range(reps):
+        ms, counts, sha = _time_once(fn)
+        times.append(ms)
+        shas.add(sha)
+    if len(shas) != 1:
+        raise PerfError(
+            f"micro {name!r} is non-deterministic: reps produced "
+            f"{len(shas)} distinct result hashes {sorted(map(str, shas))}"
+        )
+    return MicroResult(name=name, times_ms=times, counts=counts,
+                       stats_sha=shas.pop())
+
+
+def measure_calibration(reps: int = 3) -> float:
+    """Median wall time of the interpreter-speed probe, in ms."""
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        calibration_spin()
+        times.append((time.perf_counter() - t0) * 1000.0)
+    return statistics.median(times)
+
+
+# ----------------------------------------------------------------------
+# subsystem attribution
+# ----------------------------------------------------------------------
+_SUBSYSTEM_PREFIXES = (
+    ("repro/sim/", "engine"),
+    ("repro/core/", "protocol"),
+    ("repro/net/", "network"),
+    ("repro/runtime/", "runtime"),
+    ("repro/cluster/", "runtime"),
+    ("repro/memory/", "runtime"),
+    ("repro/sync/", "runtime"),
+    ("repro/apps/", "apps"),
+)
+
+
+def _classify(filename: str) -> str:
+    path = filename.replace("\\", "/")
+    for prefix, subsystem in _SUBSYSTEM_PREFIXES:
+        if prefix in path:
+            return subsystem
+    return "other"
+
+
+def subsystem_shares(workload=None) -> Dict[str, float]:
+    """Fraction of self-time per subsystem for one profiled full cell."""
+    import cProfile
+    import pstats
+
+    from repro.perf.micros import full_cell_swlrc
+
+    workload = workload or full_cell_swlrc
+    prof = cProfile.Profile()
+    prof.enable()
+    workload()
+    prof.disable()
+    totals: Dict[str, float] = {}
+    for func, (_cc, _nc, tottime, _ct, _callers) in pstats.Stats(
+        prof
+    ).stats.items():
+        totals[_classify(func[0])] = totals.get(_classify(func[0]), 0.0) + tottime
+    grand = sum(totals.values()) or 1.0
+    shares = {k: v / grand for k, v in totals.items()}
+    for key in ("engine", "protocol", "network", "runtime", "apps", "other"):
+        shares.setdefault(key, 0.0)
+    return shares
+
+
+# ----------------------------------------------------------------------
+# suite
+# ----------------------------------------------------------------------
+def run_suite(
+    reps: int = 5,
+    warmup: int = 1,
+    micros: Optional[List[str]] = None,
+    shares: bool = True,
+) -> SuiteResult:
+    """Measure the (selected) micros and return a :class:`SuiteResult`."""
+    selected = list(MICROS) if micros is None else list(micros)
+    unknown = [n for n in selected if n not in MICROS]
+    if unknown:
+        raise PerfError(f"unknown micro(s): {', '.join(unknown)}")
+    cal = measure_calibration()
+    results = {n: _measure(n, MICROS[n], reps, warmup) for n in selected}
+    return SuiteResult(
+        reps=reps,
+        calibration_ms=cal,
+        micros=results,
+        subsystem_shares=subsystem_shares() if shares else {},
+    )
+
+
+# ----------------------------------------------------------------------
+# baseline IO
+# ----------------------------------------------------------------------
+def save_baseline(result: SuiteResult, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(result.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Dict:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != SCHEMA_VERSION:
+        raise PerfError(
+            f"baseline {path} has schema {data.get('schema')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    return data
+
+
+# ----------------------------------------------------------------------
+# the gate
+# ----------------------------------------------------------------------
+@dataclass
+class GateRow:
+    micro: str
+    baseline_ms: float
+    expected_ms: float     # baseline scaled by the calibration ratio
+    current_ms: float
+    ratio: float           # current / expected; > 1 + tolerance fails
+    regressed: bool
+    determinism_broken: bool = False
+
+
+@dataclass
+class GateReport:
+    tolerance: float
+    scale: float           # current calibration / baseline calibration
+    rows: List[GateRow]
+
+    @property
+    def regressions(self) -> List[GateRow]:
+        return [r for r in self.rows if r.regressed or r.determinism_broken]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [
+            f"perf gate: tolerance {self.tolerance:.0%}, "
+            f"machine-speed scale {self.scale:.3f}"
+        ]
+        for r in self.rows:
+            verdict = "ok"
+            if r.determinism_broken:
+                verdict = "DETERMINISM"
+            elif r.regressed:
+                verdict = "REGRESSED"
+            lines.append(
+                f"  {verdict:11s} {r.micro:18s} "
+                f"base {r.baseline_ms:8.2f} ms  "
+                f"expect <= {r.expected_ms * (1 + self.tolerance):8.2f} ms  "
+                f"got {r.current_ms:8.2f} ms  (x{r.ratio:.3f})"
+            )
+        lines.append(
+            "gate PASSED" if self.ok
+            else f"gate FAILED: {len(self.regressions)} micro(s) out of bounds"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> GateReport:
+    """Gate ``current`` suite output against a ``baseline`` dict.
+
+    Both arguments use the serialized schema (pass
+    ``SuiteResult.to_dict()`` for a fresh run).  Micros present in only
+    one of the two are skipped: adding a micro must not fail old
+    baselines, and retiring one must not require lockstep updates.
+    """
+    cal_base = baseline.get("calibration", {}).get("spin_ms") or 1.0
+    cal_cur = current.get("calibration", {}).get("spin_ms") or cal_base
+    scale = cal_cur / cal_base
+    rows: List[GateRow] = []
+    base_micros = baseline.get("micros", {})
+    cur_micros = current.get("micros", {})
+    for name in base_micros:
+        if name not in cur_micros:
+            continue
+        b, c = base_micros[name], cur_micros[name]
+        expected = b["median_ms"] * scale
+        ratio = c["median_ms"] / expected if expected > 0 else float("inf")
+        sha_b, sha_c = b.get("stats_sha"), c.get("stats_sha")
+        rows.append(
+            GateRow(
+                micro=name,
+                baseline_ms=b["median_ms"],
+                expected_ms=expected,
+                current_ms=c["median_ms"],
+                ratio=ratio,
+                regressed=ratio > 1.0 + tolerance,
+                determinism_broken=(
+                    sha_b is not None and sha_c is not None and sha_b != sha_c
+                ),
+            )
+        )
+    return GateReport(tolerance=tolerance, scale=scale, rows=rows)
+
+
+def format_suite(result: SuiteResult) -> str:
+    """Human-readable table of one suite run."""
+    lines = [
+        f"simulator-core perf suite: {result.reps} reps, "
+        f"calibration spin {result.calibration_ms:.2f} ms",
+        f"  {'micro':18s} {'median':>10s} {'MAD':>8s}  throughput",
+    ]
+    for name, m in result.micros.items():
+        tps = m.throughputs()
+        tp = "  ".join(
+            f"{v:,.0f} {k.replace('_per_sec', '')}/s" for k, v in sorted(tps.items())
+        )
+        lines.append(
+            f"  {name:18s} {m.median_ms:8.2f}ms {m.mad_ms:6.2f}ms  {tp}"
+        )
+    if result.subsystem_shares:
+        shares = "  ".join(
+            f"{k} {v:.0%}"
+            for k, v in sorted(
+                result.subsystem_shares.items(), key=lambda kv: -kv[1]
+            )
+        )
+        lines.append(f"  subsystem self-time shares: {shares}")
+    return "\n".join(lines)

@@ -52,7 +52,9 @@ class Dsm:
     # ------------------------------------------------------------------
     def compute(self, us: float) -> Generator:
         """Model ``us`` microseconds of local computation."""
-        yield from self.node.compute(us)
+        # Return the node's generator directly instead of delegating
+        # with `yield from`: one less generator frame per compute call.
+        return self.node.compute(us)
 
     # ------------------------------------------------------------------
     # shared-memory access
@@ -84,8 +86,10 @@ class Dsm:
         if hooks is not None:
             hooks.on_region(node.id, addr, size, False)
         out = np.empty(size, dtype=np.uint8)
+        permits_read = node.access.permits_read
         for block, off, roff, length in self._bs.block_slices(addr, size):
-            yield from self._ensure(block, write=False)
+            if not permits_read(block):
+                yield from self._ensure(block, write=False)
             out[roff : roff + length] = node.store.block(block)[off : off + length]
         return out
 
@@ -100,8 +104,10 @@ class Dsm:
             else data,
             dtype=np.uint8,
         )
+        permits = node.access.permits
         for block, off, roff, length in self._bs.block_slices(addr, len(data)):
-            yield from self._ensure(block, write=True)
+            if not permits(block, True):
+                yield from self._ensure(block, write=True)
             node.store.block(block)[off : off + length] = data[roff : roff + length]
 
     def touch_read(self, addr: int, size: int) -> Generator:
@@ -110,8 +116,12 @@ class Dsm:
         hooks = self.machine.hooks
         if hooks is not None:
             hooks.on_region(self.node.id, addr, size, False)
+        # Access-hit fast path: skip the _ensure generator entirely when
+        # the tag already permits the access (the common case by far).
+        permits_read = self.node.access.permits_read
         for block in self._bs.blocks_in_region(addr, size):
-            yield from self._ensure(block, write=False)
+            if not permits_read(block):
+                yield from self._ensure(block, write=False)
 
     def touch_write(self, addr: int, size: int, *, pattern: int = -1) -> Generator:
         """Ensure write access to a region and dirty it.
@@ -124,8 +134,10 @@ class Dsm:
         hooks = self.machine.hooks
         if hooks is not None:
             hooks.on_region(node.id, addr, size, True)
+        permits = node.access.permits
         for block, off, roff, length in self._bs.block_slices(addr, size):
-            yield from self._ensure(block, write=True)
+            if not permits(block, True):
+                yield from self._ensure(block, write=True)
             if pattern >= 0:
                 node.store.block(block)[off : off + length] = pattern & 0xFF
 
@@ -160,10 +172,10 @@ class Dsm:
     # synchronization
     # ------------------------------------------------------------------
     def acquire(self, lock_id: int) -> Generator:
-        yield from self.machine.locks.acquire(self.node, lock_id)
+        return self.machine.locks.acquire(self.node, lock_id)
 
     def release(self, lock_id: int) -> Generator:
-        yield from self.machine.locks.release(self.node, lock_id)
+        return self.machine.locks.release(self.node, lock_id)
 
     def barrier(self, barrier_id: int, participants: Optional[int] = None) -> Generator:
-        yield from self.machine.barriers.barrier(self.node, barrier_id, participants)
+        return self.machine.barriers.barrier(self.node, barrier_id, participants)

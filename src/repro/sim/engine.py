@@ -7,12 +7,43 @@ the same configuration produce bit-identical event orderings, fault
 counts, and timings.  Determinism is essential for the reproduction --
 the paper's tables are exact fault counts, and we want our own tables to
 be exactly repeatable.
+
+Performance notes
+-----------------
+The event loop is the hottest code in the repository -- every message,
+sleep, and future resolution passes through it -- so it is written for
+CPython speed at the cost of some repetition:
+
+* Queue entries are plain ``(time, seq, handle, fn, args)`` tuples
+  rather than rich-comparison objects.  Tuple comparison is a single C
+  call, and because ``seq`` is unique the comparison never reaches the
+  third element, so nothing on the hot path needs ``__lt__``.
+* :meth:`post` is :meth:`schedule` without the cancellation handle.
+  Nothing inside the simulator ever cancels (futures resolve exactly
+  once, messages always arrive), so the internal callers avoid one
+  object allocation per event; the ``handle`` slot of their entries is
+  ``None``.
+* Zero-delay events (the overwhelmingly common case: future
+  resolutions, process kicks, local deliveries) skip the heap entirely
+  and go through a FIFO deque.  Within one call to :meth:`run`,
+  simulation time never decreases, so the deque stays sorted by
+  ``(time, seq)`` and a two-way tuple compare against the heap head
+  merges the two lanes in exactly the order a single heap would have
+  produced.  (``schedule``/``post`` still verify the invariant and fall
+  back to the heap, so pathological ``run(until=past)`` uses stay
+  correct.)
+* :meth:`run` keeps the queues and the event counter in locals and
+  writes the counter back once, in a ``finally``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from collections import deque
+from typing import Any, Callable, Optional, Tuple
+
+#: a queued callback: (time, seq, cancellation handle or None, fn, args)
+_Entry = Tuple[float, int, Optional["ScheduledEvent"], Callable[..., Any], tuple]
 
 
 class SimulationError(RuntimeError):
@@ -57,7 +88,8 @@ class Engine:
     def __init__(self, *, max_events: int = 200_000_000):
         self._now: float = 0.0
         self._seq: int = 0
-        self._queue: list[ScheduledEvent] = []
+        self._queue: list[_Entry] = []
+        self._fifo: deque[_Entry] = deque()
         self._max_events = max_events
         self._events_run = 0
         self._running = False
@@ -78,6 +110,29 @@ class Engine:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`schedule` without a cancellation handle.
+
+        The internal fast path: one tuple, no event object.  Use it
+        whenever the caller never cancels (which is everything inside
+        the simulator).  Ordering is identical to ``schedule``.
+        """
+        now = self._now
+        seq = self._seq
+        if delay == 0.0:
+            fifo = self._fifo
+            if not fifo or fifo[-1][0] <= now:
+                self._seq = seq + 1
+                fifo.append((now, seq, None, fn, args))
+                return
+            time = now
+        elif delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        else:
+            time = now + delay
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, None, fn, args))
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
         """Schedule ``fn(*args)`` to run ``delay`` microseconds from now.
 
@@ -85,16 +140,46 @@ class Engine:
         after all callbacks already scheduled for the current instant
         (FIFO within an instant).
         """
-        if delay < 0:
+        now = self._now
+        seq = self._seq
+        if delay == 0.0:
+            fifo = self._fifo
+            if not fifo or fifo[-1][0] <= now:
+                self._seq = seq + 1
+                ev = ScheduledEvent(now, seq, fn, args)
+                fifo.append((now, seq, ev, fn, args))
+                return ev
+            # Time moved backward under the deque (run(until=past));
+            # keep the fast lane sorted by routing through the heap.
+            time = now
+        elif delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        ev = ScheduledEvent(self._now + delay, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, ev)
+        else:
+            time = now + delay
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, fn, args)
+        heapq.heappush(self._queue, (time, seq, ev, fn, args))
         return ev
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> ScheduledEvent:
-        """Schedule ``fn(*args)`` at an absolute simulation time."""
-        return self.schedule(time - self._now, fn, *args)
+        """Schedule ``fn(*args)`` at an absolute simulation time.
+
+        The comparison happens in absolute time: a ``time`` at -- or,
+        through float arithmetic dust, a hair before -- the current
+        instant is clamped to *now* and runs FIFO after the callbacks
+        already scheduled for this instant, exactly like
+        ``schedule(0.0, ...)``.  (Routing through ``schedule(time - now,
+        ...)`` used to raise :class:`SimulationError` when the
+        subtraction of two nearly equal floats went negative.)
+        """
+        now = self._now
+        if time <= now:
+            return self.schedule(0.0, fn, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time, seq, fn, args)
+        heapq.heappush(self._queue, (time, seq, ev, fn, args))
+        return ev
 
     # ------------------------------------------------------------------
     # running
@@ -109,48 +194,91 @@ class Engine:
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        queue = self._queue
+        fifo = self._fifo
+        pop = heapq.heappop
+        popleft = fifo.popleft
+        events_run = self._events_run
+        max_events = self._max_events
         try:
-            queue = self._queue
-            while queue:
-                ev = heapq.heappop(queue)
-                if ev.cancelled:
+            if until is None:
+                while True:
+                    if fifo:
+                        if queue and queue[0] < fifo[0]:
+                            entry = pop(queue)
+                        else:
+                            entry = popleft()
+                    elif queue:
+                        entry = pop(queue)
+                    else:
+                        break
+                    ev = entry[2]
+                    if ev is not None and ev.cancelled:
+                        continue
+                    self._now = entry[0]
+                    events_run += 1
+                    if events_run > max_events:
+                        raise SimulationError(
+                            f"event budget exhausted ({max_events} events); "
+                            "likely protocol livelock"
+                        )
+                    entry[3](*entry[4])
+                return self._now
+            while True:
+                if fifo:
+                    if queue and queue[0] < fifo[0]:
+                        entry = pop(queue)
+                    else:
+                        entry = popleft()
+                elif queue:
+                    entry = pop(queue)
+                else:
+                    break
+                ev = entry[2]
+                if ev is not None and ev.cancelled:
                     continue
-                if until is not None and ev.time > until:
+                if entry[0] > until:
                     # Put it back; we stopped early.
-                    heapq.heappush(queue, ev)
+                    heapq.heappush(queue, entry)
                     self._now = until
-                    return self._now
-                self._now = ev.time
-                self._events_run += 1
-                if self._events_run > self._max_events:
+                    return until
+                self._now = entry[0]
+                events_run += 1
+                if events_run > max_events:
                     raise SimulationError(
-                        f"event budget exhausted ({self._max_events} events); "
+                        f"event budget exhausted ({max_events} events); "
                         "likely protocol livelock"
                     )
-                ev.fn(*ev.args)
-            if until is not None and until > self._now:
+                entry[3](*entry[4])
+            if until > self._now:
                 self._now = until
             return self._now
         finally:
+            self._events_run = events_run
             self._running = False
 
     def step(self) -> bool:
         """Run a single event.  Returns False when the queue is empty."""
         queue = self._queue
-        while queue:
-            ev = heapq.heappop(queue)
-            if ev.cancelled:
+        fifo = self._fifo
+        while queue or fifo:
+            if fifo and not (queue and queue[0] < fifo[0]):
+                entry = fifo.popleft()
+            else:
+                entry = heapq.heappop(queue)
+            ev = entry[2]
+            if ev is not None and ev.cancelled:
                 continue
-            self._now = ev.time
+            self._now = entry[0]
             self._events_run += 1
-            ev.fn(*ev.args)
+            entry[3](*entry[4])
             return True
         return False
 
     @property
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
-        return len(self._queue)
+        return len(self._queue) + len(self._fifo)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Engine t={self._now:.3f}us pending={len(self._queue)}>"
+        return f"<Engine t={self._now:.3f}us pending={self.pending}>"

@@ -50,11 +50,11 @@ class Future:
         for w in waiters:
             # Zero-delay schedule keeps resolution ordering FIFO and
             # avoids unbounded recursion through chains of futures.
-            self.engine.schedule(0.0, w, value)
+            self.engine.post(0.0, w, value)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         if self.done:
-            self.engine.schedule(0.0, fn, self.value)
+            self.engine.post(0.0, fn, self.value)
         else:
             self._waiters.append(fn)
 
@@ -88,11 +88,11 @@ class CountdownLatch:
             self.done = True
             waiters, self._waiters = self._waiters, []
             for w in waiters:
-                self.engine.schedule(0.0, w, None)
+                self.engine.post(0.0, w, None)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         if self.done:
-            self.engine.schedule(0.0, fn, None)
+            self.engine.post(0.0, fn, None)
         else:
             self._waiters.append(fn)
 
@@ -113,7 +113,7 @@ class Signal:
     def broadcast(self, value: Any = None) -> None:
         waiters, self._waiters = self._waiters, []
         for w in waiters:
-            self.engine.schedule(0.0, w, value)
+            self.engine.post(0.0, w, value)
 
     def add_callback(self, fn: Callable[[Any], None]) -> None:
         self._waiters.append(fn)
@@ -140,7 +140,7 @@ class Process:
         self.finished = False
         self.result: Any = None
         self._completion: Optional[Future] = None
-        engine.schedule(0.0, self._step, None)
+        engine.post(0.0, self._step, None)
 
     @property
     def completion(self) -> Future:
@@ -152,6 +152,9 @@ class Process:
         return self._completion
 
     def _step(self, sendval: Any) -> None:
+        # This method runs once per generator resumption -- one of the
+        # hottest frames in the simulator -- so the effect dispatch is
+        # inlined rather than delegated to a helper call.
         if self.finished:
             return
         try:
@@ -165,13 +168,22 @@ class Process:
         except Exception as exc:  # noqa: BLE001 - rewrap with process name
             self.finished = True
             raise ProcessCrashed(f"process {self.name!r} crashed: {exc!r}") from exc
-        self._dispatch(effect)
+        if type(effect) is float:
+            if effect < 0.0:
+                raise SimulationError(f"process {self.name!r} slept negative time {effect}")
+            self.engine.post(effect, self._step, None)
+        elif isinstance(effect, _WAITABLE_TYPES):
+            effect.add_callback(self._step)
+        else:
+            self._dispatch(effect)
 
     def _dispatch(self, effect: Any) -> None:
+        # Slow path: numeric effects that are not exactly ``float``
+        # (ints, numpy scalars) and the unsupported-effect error.
         if isinstance(effect, (int, float)):
             if effect < 0:
                 raise SimulationError(f"process {self.name!r} slept negative time {effect}")
-            self.engine.schedule(float(effect), self._step, None)
+            self.engine.post(float(effect), self._step, None)
         elif isinstance(effect, _WAITABLE_TYPES):
             effect.add_callback(self._step)
         else:

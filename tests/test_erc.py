@@ -179,3 +179,51 @@ def test_quiescent_state_clean():
     assert m.protocol._poisoned == set()
     assert all(not t for t in m.protocol.twins)
     assert all(not d for d in m.protocol.dirty)
+
+
+def test_fetch_parked_during_invalidation_storm():
+    """Regression: a fetch serviced while a release's invalidation
+    transaction is open can hand out a snapshot missing a concurrent
+    writer's piggybacked diff, leaving the requester a stale cached
+    copy that nothing ever invalidates.
+
+    The shape (found by hypothesis): three writers share a 64-byte
+    block; the reader's poisoned-retry refetch races the slowest
+    writer's piggybacked diff at the home.
+    """
+    m = Machine(MachineParams(n_nodes=3, granularity=64), protocol="erc")
+    arr = SharedArray(m, "x", 9, dtype=np.float64)
+    arr.init(np.zeros(9))
+    arr.place(0, 9, 1)
+    bounds = [0, 1, 2, 9]
+
+    def value(rank, rnd, idx):
+        return float(rnd * 1_000_000 + rank * 10_000 + idx)
+
+    reads = [(0, 3), (0, 1), (0, 1)]
+    failures = []
+
+    def program(dsm, rank, nprocs):
+        for rnd in range(2):
+            lo, hi = bounds[rank], bounds[rank + 1]
+            vals = np.array([value(rank, rnd, i) for i in range(lo, hi)])
+            yield from arr.set_slice(dsm, lo, vals)
+            yield from dsm.barrier(0, participants=nprocs)
+            rlo, rlen = reads[rank]
+            rhi = min(9, rlo + rlen)
+            got = yield from arr.get_slice(dsm, rlo, rhi)
+            expect = np.array([
+                value(w, rnd, i)
+                for i in range(rlo, rhi)
+                for w in [next(r for r in range(nprocs)
+                               if bounds[r] <= i < bounds[r + 1])]
+            ])
+            if not np.array_equal(got, expect):
+                failures.append((rank, rnd, got.copy(), expect))
+            yield from dsm.barrier(1, participants=nprocs)
+
+    run_program(m, program, nprocs=3)
+    assert not failures, failures
+    # every storm closed, nothing left parked
+    assert m.protocol._storms == {}
+    assert m.protocol._parked == {}

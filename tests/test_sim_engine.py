@@ -96,6 +96,99 @@ def test_schedule_at_absolute_time():
     assert hits == ["x"]
 
 
+def test_schedule_at_now_is_legal():
+    # Regression: schedule_at used to route through schedule(time - now)
+    # and float subtraction could reject a legal time == now.
+    eng = Engine()
+    order = []
+
+    def at_five():
+        order.append("a")
+        eng.schedule_at(eng.now, order.append, "b")
+
+    eng.schedule(5.0, at_five)
+    eng.schedule(5.0, order.append, "mid")
+    eng.run()
+    assert order == ["a", "mid", "b"]
+    assert eng.now == 5.0
+
+
+def test_schedule_at_clamps_float_dust_to_now():
+    # 0.1 + 0.2 > 0.3 in binary floating point: an absolute time
+    # computed with a different association lands a hair before `now`
+    # and must be clamped to the current instant, not rejected.
+    eng = Engine()
+    hits = []
+
+    def second_leg():
+        assert eng.now == 0.1 + 0.2
+        eng.schedule_at(0.3, hits.append, eng.now)
+
+    eng.schedule(0.1, eng.schedule, 0.2, second_leg)
+    eng.run()
+    assert hits == [0.1 + 0.2]
+
+
+def test_schedule_at_interleaves_with_relative_schedules():
+    eng = Engine()
+    order = []
+    eng.schedule(2.0, order.append, "rel2")
+    eng.schedule_at(1.0, order.append, "abs1")
+    eng.schedule(1.0, order.append, "rel1")
+    eng.schedule_at(3.0, order.append, "abs3")
+    eng.run()
+    assert order == ["abs1", "rel1", "rel2", "abs3"]
+    assert eng.now == 3.0
+
+
+def test_zero_delay_cancel_respected():
+    eng = Engine()
+    hits = []
+
+    def first():
+        ev = eng.schedule(0.0, hits.append, "no")
+        eng.schedule(0.0, hits.append, "yes")
+        ev.cancel()
+
+    eng.schedule(1.0, first)
+    eng.run()
+    assert hits == ["yes"]
+
+
+def test_zero_delay_orders_against_equal_time_heap_entries():
+    # A tiny-but-positive delay that rounds to the current instant goes
+    # through the heap; zero delays go through the FIFO lane.  Sequence
+    # numbers must still interleave the two lanes in creation order.
+    eng = Engine()
+    order = []
+    big = 1e18
+
+    def at_big():
+        tiny = 1e-7  # big + tiny == big in float64
+        assert big + tiny == big
+        eng.schedule(0.0, order.append, "fifo1")
+        eng.schedule(tiny, order.append, "heap")
+        eng.schedule(0.0, order.append, "fifo2")
+
+    eng.schedule_at(big, at_big)
+    eng.run()
+    assert order == ["fifo1", "heap", "fifo2"]
+
+
+def test_pending_counts_both_lanes():
+    eng = Engine()
+
+    def first():
+        eng.schedule(0.0, lambda: None)
+        eng.schedule(1.0, lambda: None)
+        assert eng.pending == 2
+
+    eng.schedule(1.0, first)
+    assert eng.pending == 1
+    eng.run()
+    assert eng.pending == 0
+
+
 def test_event_budget_detects_livelock():
     eng = Engine(max_events=100)
 
