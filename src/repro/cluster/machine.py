@@ -11,8 +11,10 @@ from repro.cluster.node import Node
 from repro.memory.address_space import AddressSpace, Segment
 from repro.memory.blocks import BlockSpace
 from repro.memory.home import HomeTable
+from repro.net.faultplan import FaultPlan, FaultSpec
 from repro.net.message import Message
 from repro.net.myrinet import Network
+from repro.net.reliable import ReliableTransport
 from repro.sim.engine import Engine
 from repro.stats.counters import Stats
 
@@ -23,6 +25,14 @@ class Machine:
     Construction order matters only in that nodes receive a dispatch
     callback bound to this machine; the protocol and sync services are
     created last and resolved through ``self`` at dispatch time.
+
+    ``faults`` (a :class:`~repro.net.faultplan.FaultSpec`) makes the
+    interconnect unreliable and slides the reliable-delivery transport
+    (:mod:`repro.net.reliable`) between the protocol/sync services and
+    the wire.  ``faults=None`` (the default) is the trusted legacy
+    wire: no transport, no sequence numbers, bit-identical behavior to
+    pre-chaos builds.  Either way, all outbound traffic goes through
+    :attr:`send` -- the single seam the transport hooks.
     """
 
     def __init__(
@@ -31,6 +41,7 @@ class Machine:
         protocol: str = "hlrc",
         poll_dilation: float = 0.0,
         max_events: Optional[int] = None,
+        faults: Optional[FaultSpec] = None,
     ):
         params.validate()
         self.params = params
@@ -47,7 +58,23 @@ class Machine:
             Node(i, self.engine, params, self.stats, self._dispatch, poll_dilation)
             for i in range(params.n_nodes)
         ]
-        self.network = Network(self.engine, params, self.stats, self._deliver)
+        if faults is None:
+            self.fault_plan = None
+            self.transport = None
+            self.network = Network(self.engine, params, self.stats, self._deliver)
+            #: bound per-instance so the hot path pays no routing test
+            self.send = self.network.send
+        else:
+            self.fault_plan = FaultPlan(faults, params.n_nodes)
+            self.stats.enable_transport()
+            self.network = Network(
+                self.engine, params, self.stats, self._deliver, self.fault_plan
+            )
+            self.transport = ReliableTransport(self, self.network, self.fault_plan)
+            # Wire arrivals detour through the transport (ack/dedup/
+            # resequence) before reaching the nodes.
+            self.network.set_deliver(self.transport.on_wire)
+            self.send = self.transport.send
         # Imported lazily to avoid a cycle (protocols import memory/net).
         from repro.core import make_protocol
         from repro.sync import BarrierService, LockService
@@ -69,6 +96,10 @@ class Machine:
     # ------------------------------------------------------------------
     def _deliver(self, msg: Message) -> None:
         self.nodes[msg.dst].deliver(msg)
+
+    #: public alias used by the reliable transport once it has decided
+    #: a wire arrival really is the next in-order message for the node
+    deliver_to_node = _deliver
 
     def _dispatch(self, node: Node, msg: Message) -> None:
         t = msg.mtype

@@ -30,7 +30,17 @@ inserted.
 
 Handlers on one node serialize (single CPU): each message's handling
 occupies ``[start, start + handle_cost]`` where start respects the
-previous handler's completion.
+previous handler's completion.  Back-to-back wire arrivals therefore
+overlap their notification windows -- each arrival computes its own
+delay from the node state *at arrival time*, then queues behind
+``_handler_busy_until``; two deliveries 1 us apart under the interrupt
+mechanism both pay the ~70 us signal path but their handlers run
+strictly serialized (see tests/test_node.py).  The reliable transport
+(:mod:`repro.net.reliable`) leans on this when it drains a held-out-of-
+order buffer: it hands the node several messages at the same simulated
+instant and the node spaces their handlers out itself.  Transport acks
+never reach a node -- they are consumed at wire arrival inside the
+transport with zero handler cost (modeled as NIC-firmware work).
 """
 
 from __future__ import annotations

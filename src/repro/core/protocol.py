@@ -86,7 +86,7 @@ class CoherenceProtocol:
             handle_cost_us=self.params.handler_base_us if cost is None else cost,
             reply_to=reply_to,
         )
-        self.m.network.send(msg)
+        self.m.send(msg)
 
     def data_reply_cost(self) -> float:
         """Handler cost of receiving a whole-block data message."""
@@ -125,7 +125,7 @@ class CoherenceProtocol:
             handle_cost_us=msg.handle_cost_us,
             reply_to=msg.reply_to,
         )
-        self.m.network.send(fwd)
+        self.m.send(fwd)
         return True
 
     @staticmethod

@@ -354,7 +354,7 @@ class SWLRCProtocol(LRCBase):
             handle_cost_us=msg.handle_cost_us,
             reply_to=msg.reply_to,
         )
-        self.m.network.send(fwd)
+        self.m.send(fwd)
 
     # ==================================================================
     # release / notices

@@ -30,7 +30,36 @@ _FINGERPRINT: Optional[str] = None
 
 #: failures worth caching: deterministic simulation outcomes.  Timeouts
 #: and pool breakage depend on the host and must be retried next time.
-_CACHEABLE_FAILURES = ("SimulationError",)
+#: TransportError (retransmit budget exhausted under a fault plan) is
+#: deterministic -- the fault plan is seeded and part of the config.
+_CACHEABLE_FAILURES = ("SimulationError", "TransportError")
+
+#: Sub-packages that can never change a simulation outcome: they only
+#: *measure* (perf regression harness) or *post-process* (analysis) --
+#: editing them must not invalidate the result cache.
+_FINGERPRINT_EXCLUDE_DIRS = ("perf", "analysis")
+
+#: Presentation/orchestration modules inside otherwise-semantic
+#: packages: report/table/figure renderers and the CLI read finished
+#: Stats, they never touch the simulation.  harness/experiment.py and
+#: harness/matrix.py stay IN the fingerprint (they build the Machine
+#: and define cell parameters).
+_FINGERPRINT_EXCLUDE_FILES = frozenset(
+    {
+        "harness/report.py",
+        "harness/tables.py",
+        "harness/figures.py",
+        "harness/cli.py",
+    }
+)
+
+
+def _fingerprint_relevant(rel_posix: str) -> bool:
+    """Whether a ``repro``-relative source path feeds the fingerprint."""
+    top = rel_posix.split("/", 1)[0]
+    if top in _FINGERPRINT_EXCLUDE_DIRS:
+        return False
+    return rel_posix not in _FINGERPRINT_EXCLUDE_FILES
 
 
 def default_cache_dir() -> str:
@@ -41,22 +70,42 @@ def default_cache_dir() -> str:
 
 
 def code_fingerprint() -> str:
-    """SHA-256 over every ``repro/**/*.py`` source file plus the default
-    machine cost constants.  Memoized per process."""
+    """SHA-256 over the *simulation-semantics* ``repro`` sources plus
+    the default machine cost constants.  Memoized per process.
+
+    Scoped deliberately: measurement and presentation code
+    (``repro/perf``, ``repro/analysis``, the harness report/table/
+    figure/CLI modules -- see ``_FINGERPRINT_EXCLUDE_*``) is hashed
+    *out*, so tuning a benchmark threshold or a table format does not
+    stampede-invalidate every cached simulation result.  Everything
+    that can influence a :class:`~repro.stats.counters.Stats` -- apps,
+    cluster, core, memory, net, runtime, sim, sync, check, exec --
+    stays in.
+    """
     global _FINGERPRINT
     if _FINGERPRINT is None:
         import repro
-        from repro.cluster.config import MachineParams
 
-        h = hashlib.sha256()
-        h.update(repro.__version__.encode())
-        h.update(repr(sorted(dataclasses.asdict(MachineParams()).items())).encode())
-        pkg_root = Path(repro.__file__).parent
-        for path in sorted(pkg_root.rglob("*.py")):
-            h.update(str(path.relative_to(pkg_root)).encode())
-            h.update(path.read_bytes())
-        _FINGERPRINT = h.hexdigest()
+        _FINGERPRINT = _fingerprint_tree(Path(repro.__file__).parent)
     return _FINGERPRINT
+
+
+def _fingerprint_tree(pkg_root: Path) -> str:
+    """The fingerprint of one source tree (unmemoized; tests hash
+    scratch copies of the package through this)."""
+    import repro
+    from repro.cluster.config import MachineParams
+
+    h = hashlib.sha256()
+    h.update(repro.__version__.encode())
+    h.update(repr(sorted(dataclasses.asdict(MachineParams()).items())).encode())
+    for path in sorted(pkg_root.rglob("*.py")):
+        rel = path.relative_to(pkg_root).as_posix()
+        if not _fingerprint_relevant(rel):
+            continue
+        h.update(rel.encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()
 
 
 class ResultCache:

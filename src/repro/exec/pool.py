@@ -27,11 +27,12 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.exec.cache import ResultCache
 from repro.exec.events import EventLog
 from repro.exec.serialize import RunRecord, config_to_dict
+from repro.sim import engine as sim_engine
 
 if TYPE_CHECKING:  # imported lazily at runtime: harness imports exec
     from repro.harness.experiment import RunConfig
@@ -41,8 +42,63 @@ class CellTimeout(Exception):
     """A single cell exceeded its wall-clock budget."""
 
 
+#: Set by the SIGALRM handler, checked by ``_simulate_cell`` after the
+#: run returns: a timeout whose interruption could not be delivered as
+#: an exception still fails the cell.
+_TIMED_OUT = False
+
+
 def _alarm_handler(signum, frame):
-    raise CellTimeout("per-run timeout expired")
+    # Never raise from here.  The signal lands at an arbitrary bytecode
+    # boundary: inside a GC callback or a __del__ the raise is silently
+    # discarded, and inside exception-reporting machinery (the
+    # unraisable hook formatting a traceback) it escapes through code
+    # that has nothing to do with the cell.  Flag the timeout and
+    # poison the running engine instead -- its dispatch loop raises
+    # CellTimeout from a frame that always propagates to
+    # _simulate_cell.  When no engine is dispatching (cell setup or
+    # teardown), the flag alone fails the cell once the run returns.
+    global _TIMED_OUT
+    _TIMED_OUT = True
+    active = sim_engine._ACTIVE
+    if active is not None:
+        active.interrupt(CellTimeout("per-run timeout expired"))
+
+
+#: Cleanup hooks run inside a (pool-worker or serial) process after a
+#: cell times out.  A timeout cuts the run off at an arbitrary point,
+#: so any *process-level* memo being built at that instant may be left
+#: half-populated -- and pool workers are warm: the next cell they run
+#: would consult the poisoned memo.  Modules that keep process-level
+#: memo state register a reset here.
+_WORKER_RESETS: List[Callable[[], None]] = []
+
+
+def register_worker_reset(fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a zero-arg callable that restores a process-level memo
+    to its pristine state (returns ``fn`` so it can be used bare or as
+    a decorator)."""
+    _WORKER_RESETS.append(fn)
+    return fn
+
+
+def _reset_worker_state() -> None:
+    """Drop every process-level memo after a CellTimeout.
+
+    Known memos are reset directly (imported lazily: they may simply
+    not be loaded yet in this worker); extension memos go through
+    :func:`register_worker_reset`.
+    """
+    import sys
+
+    import repro.exec.cache as _cache
+
+    _cache._FINGERPRINT = None
+    matrix = sys.modules.get("repro.harness.matrix")
+    if matrix is not None:
+        matrix._CACHE.clear()
+    for fn in _WORKER_RESETS:
+        fn()
 
 
 def _simulate_cell(
@@ -64,6 +120,7 @@ def _simulate_cell(
     record (error_type ``CheckFailure``), a clean cell carries the
     checker counters in ``record.check``.
     """
+    global _TIMED_OUT
     start = time.monotonic()
     use_alarm = (
         timeout_s is not None
@@ -72,12 +129,21 @@ def _simulate_cell(
     )
     old_handler = None
     if use_alarm:
+        _TIMED_OUT = False
         old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
-        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+        # Armed with a repeat interval, not one-shot: the handler only
+        # flags and poisons, so a fire that lands before the engine
+        # starts dispatching (cell setup) would otherwise be inert --
+        # the re-fire delivers the poison once the event loop is live.
+        signal.setitimer(signal.ITIMER_REAL, timeout_s, min(timeout_s, 0.05))
     try:
         from repro.harness.experiment import run_experiment
 
         result = run_experiment(cfg, max_events=max_events, check=check)
+        if use_alarm and _TIMED_OUT:
+            # Every fire landed outside the event loop and the run
+            # still completed; over budget is over budget.
+            raise CellTimeout("per-run timeout expired")
         if check and result.check is not None and not result.check.ok:
             from repro.check import CheckFailure
 
@@ -94,6 +160,10 @@ def _simulate_cell(
             }
         return rec
     except Exception as exc:
+        if isinstance(exc, CellTimeout):
+            # The poison cut the run off at an arbitrary event: assume
+            # nothing about half-built process-level memo state.
+            _reset_worker_state()
         return RunRecord.from_failure(
             cfg, exc, duration_s=time.monotonic() - start, attempts=attempt
         )
@@ -101,6 +171,7 @@ def _simulate_cell(
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old_handler)
+            _TIMED_OUT = False
 
 
 def execute(

@@ -22,12 +22,23 @@ if TYPE_CHECKING:  # imported lazily at runtime: harness imports exec
 
 
 def config_to_dict(cfg: "RunConfig") -> Dict:
-    return dataclasses.asdict(cfg)
+    # ``faults`` is omitted entirely when None so that fault-free
+    # configs serialize exactly as they did before the chaos layer
+    # existed -- pre-existing cache keys and result files stay valid.
+    d = dataclasses.asdict(cfg)
+    if d.get("faults") is None:
+        d.pop("faults", None)
+    return d
 
 
 def config_from_dict(d: Dict) -> "RunConfig":
     from repro.harness.experiment import RunConfig
+    from repro.net.faultplan import FaultSpec
 
+    d = dict(d)
+    faults = d.get("faults")
+    if faults is not None and not isinstance(faults, FaultSpec):
+        d["faults"] = FaultSpec.from_dict(faults)
     return RunConfig(**d)
 
 

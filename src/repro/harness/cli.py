@@ -11,6 +11,10 @@ Subcommands:
 * ``report`` -- run the matrix and write a full markdown report.
 * ``check`` -- run cells under the race detector and protocol-invariant
   sanitizer (:mod:`repro.check`); exit 1 on any finding.
+* ``chaos`` -- degradation curves under seeded interconnect faults
+  (:mod:`repro.harness.chaos`): speedup vs drop rate per protocol and
+  granularity, with the reliable transport recovering losses; exit 1
+  if any cell failed.
 * ``perf`` -- run the simulator-core perf suite (:mod:`repro.perf`);
   with ``--against BENCH_simcore.json``, exit 2 on a >15% calibrated
   median regression or a determinism break.
@@ -243,6 +247,55 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Chaos degradation sweep; exit 1 if any cell failed."""
+    from repro.harness.chaos import DEFAULT_RATES, chaos_section, chaos_sweep
+
+    apps = args.apps.split(",") if args.apps else ["lu", "ocean-rowwise"]
+    protocols = args.protocols.split(",") if args.protocols else list(PROTOCOLS)
+    grans = (
+        [int(g) for g in args.granularities.split(",")]
+        if args.granularities
+        else list(GRANULARITIES)
+    )
+    rates = (
+        [float(r) for r in args.rates.split(",")]
+        if args.rates
+        else list(DEFAULT_RATES)
+    )
+    jobs, cache, events = _exec_options(args)
+    results = chaos_sweep(
+        apps,
+        protocols=protocols,
+        granularities=grans,
+        rates=rates,
+        seed=args.seed,
+        dup_prob=args.dup,
+        reorder_prob=args.reorder,
+        mechanism=args.mechanism,
+        scale=args.scale,
+        nprocs=args.nprocs,
+        jobs=jobs,
+        cache=cache,
+        events=events,
+        timeout=args.timeout,
+        check=args.check,
+        progress=lambda s: print(f"  running {s}", file=sys.stderr),
+    )
+    text = chaos_section(results, apps, protocols, grans, rates)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"chaos report written to {args.out}")
+    else:
+        print(text)
+    failed = sum(1 for r in results.values() if not r.ok)
+    if failed:
+        print(f"{failed} cell(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_perf(args) -> int:
     """Measure the perf suite; optionally gate against a baseline."""
     from repro.perf import (
@@ -358,6 +411,32 @@ def main(argv=None) -> int:
                         "or a byte count (default word)")
     _add_common(p)
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "chaos",
+        help="degradation curves under seeded interconnect faults "
+             "(exit 1 on failed cells)",
+    )
+    p.add_argument("--apps", default=None,
+                   help="comma-separated app subset (default: lu,ocean-rowwise)")
+    p.add_argument("--protocols", default=None,
+                   help="comma-separated protocol subset (default: sc,swlrc,hlrc)")
+    p.add_argument("--granularities", default=None,
+                   help="comma-separated granularity subset (default: all)")
+    p.add_argument("--rates", default=None,
+                   help="comma-separated drop probabilities "
+                        "(default: 0,0.01,0.02,0.05; 0 = trusted wire)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (same seed => bit-identical sweep)")
+    p.add_argument("--dup", type=float, default=0.01,
+                   help="duplicate probability for the faulted cells")
+    p.add_argument("--reorder", type=float, default=0.02,
+                   help="bounded-reorder probability for the faulted cells")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the chaos report to FILE instead of stdout")
+    _add_common(p)
+    _add_exec(p)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "perf",

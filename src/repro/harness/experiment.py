@@ -10,6 +10,7 @@ from repro.apps import make_app
 from repro.apps.base import Application
 from repro.cluster.config import MachineParams, NotificationMechanism
 from repro.cluster.machine import Machine
+from repro.net.faultplan import FaultSpec
 from repro.runtime.program import run_program
 from repro.stats.counters import Stats
 
@@ -27,12 +28,20 @@ class RunConfig:
     mechanism: str = "polling"   # 'polling' | 'interrupt'
     nprocs: int = 16
     scale: str = "default"
+    #: unreliable-interconnect description; None = the trusted legacy
+    #: wire.  Part of the config (and so of every result-cache key):
+    #: a chaos cell is a different experiment, never a stale shadow of
+    #: the fault-free one.
+    faults: Optional[FaultSpec] = None
 
     def label(self) -> str:
-        return (
+        base = (
             f"{self.app}/{self.protocol}-{self.granularity}"
             f"/{self.mechanism}/p{self.nprocs}"
         )
+        if self.faults is not None:
+            base += f"/{self.faults.label()}"
+        return base
 
 
 @dataclass
@@ -77,6 +86,7 @@ def run_experiment(
         protocol=cfg.protocol,
         poll_dilation=app.poll_dilation,
         max_events=max_events,
+        faults=cfg.faults,
     )
     checkers = None
     if check:

@@ -1,8 +1,22 @@
-"""Myrinet-like interconnect model: messages, NIC/latency model, and
-the three-crossbar topology of the paper's testbed.
+"""Myrinet-like interconnect model: messages, NIC/latency model, the
+three-crossbar topology of the paper's testbed, plus the chaos layer --
+seeded fault injection (:mod:`repro.net.faultplan`) and the
+reliable-delivery transport (:mod:`repro.net.reliable`) the protocols
+run under when the wire is untrusted.
 """
 
+from repro.net.faultplan import FaultPlan, FaultSpec
 from repro.net.message import CONTROL_BYTES, HEADER_BYTES, Message
 from repro.net.myrinet import Network
+from repro.net.reliable import ReliableTransport, TransportError
 
-__all__ = ["Message", "Network", "HEADER_BYTES", "CONTROL_BYTES"]
+__all__ = [
+    "Message",
+    "Network",
+    "HEADER_BYTES",
+    "CONTROL_BYTES",
+    "FaultSpec",
+    "FaultPlan",
+    "ReliableTransport",
+    "TransportError",
+]

@@ -1,0 +1,235 @@
+"""Seeded, deterministic fault injection for the interconnect.
+
+The paper's evaluation assumes a perfectly reliable Myrinet: zero loss,
+no duplication, per-link FIFO.  A :class:`FaultSpec` describes how far
+to depart from that ideal; a :class:`FaultPlan` is the runtime object
+the :class:`~repro.net.myrinet.Network` consults on every injected
+message.  Everything is drawn from one ``random.Random(seed)`` stream:
+
+* construction-time draws (per-link latency factors, straggler choice,
+  stall phases) happen in a fixed order, and
+* per-transmission draws happen in engine event order, which is itself
+  deterministic,
+
+so a given ``(RunConfig, FaultSpec)`` pair is bit-reproducible -- the
+same seed produces the same drops, the same duplicates, the same
+delays, and therefore the same stats.  That is what lets chaos cells
+live in the on-disk result cache: the spec is folded into the cache key
+(see :func:`repro.exec.serialize.config_to_dict`) exactly like any
+other configuration axis.
+
+Fault model
+-----------
+``drop_prob``/``dup_prob``
+    Per-transmission loss and duplication.  Retransmissions (from the
+    reliable transport) are independent transmissions and roll again.
+``reorder_prob``/``reorder_max_us``
+    With probability ``reorder_prob`` a message takes an extra uniform
+    ``(0, reorder_max_us]`` of latency -- bounded reorder: a delayed
+    message can be overtaken by later traffic on the same link.
+``link_inflation_max``
+    Per-(src, dst)-link latency factor drawn once, uniform in
+    ``[1, 1 + link_inflation_max]`` -- models persistently slow routes.
+``stall_nodes``/``stall_period_us``/``stall_duration_us``
+    ``stall_nodes`` straggler nodes (chosen by the seed) freeze their
+    message *reception* for ``stall_duration_us`` once every
+    ``stall_period_us`` (per-node phase offsets are drawn from the
+    seed): arrivals during a window are held to its end.  Models GC
+    pauses / OS jitter / an overloaded receiver.
+
+Node-local messages (``src == dst``) never touch the wire and are never
+perturbed.
+
+The remaining knobs (``rto_us``, ``rto_backoff``, ``rto_jitter_us``,
+``max_retransmits``) tune the reliable transport
+(:mod:`repro.net.reliable`) that any faulty configuration runs under.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of an unreliable interconnect.
+
+    Frozen and hashable so it can ride inside
+    :class:`~repro.harness.experiment.RunConfig` (and hence inside
+    result-cache keys).  ``FaultSpec()`` describes a *fault-free but
+    untrusted* network: nothing is dropped, yet the reliable transport
+    is still engaged (sequence numbers, acks, per-link FIFO
+    resequencing).  ``faults=None`` on a config means the legacy
+    trusted wire -- bit-identical to builds that predate chaos.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_max_us: float = 500.0
+    link_inflation_max: float = 0.0
+    stall_nodes: int = 0
+    stall_period_us: float = 0.0
+    stall_duration_us: float = 0.0
+    # ---- reliable-transport tuning (see docs/CHAOS.md) ---------------
+    #: initial ack timeout; must comfortably exceed one round trip of
+    #: the largest message or every data block retransmits spuriously
+    rto_us: float = 2500.0
+    #: exponential backoff factor applied per timeout
+    rto_backoff: float = 2.0
+    #: uniform jitter added to each backed-off timeout (desynchronizes
+    #: retransmit storms)
+    rto_jitter_us: float = 100.0
+    #: give up (fail the run) after this many retransmits of one message
+    max_retransmits: int = 30
+
+    def validate(self) -> None:
+        # 1.0 is legal: a total-blackout link is how the transport's
+        # retransmit-exhaustion path gets exercised.
+        for name in ("drop_prob", "dup_prob", "reorder_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.reorder_max_us < 0 or self.link_inflation_max < 0:
+            raise ValueError("reorder_max_us/link_inflation_max must be >= 0")
+        if self.stall_nodes < 0:
+            raise ValueError("stall_nodes must be >= 0")
+        if self.stall_nodes and self.stall_period_us <= 0:
+            raise ValueError("stall_nodes requires stall_period_us > 0")
+        if self.stall_duration_us < 0:
+            raise ValueError("stall_duration_us must be >= 0")
+        if self.stall_period_us > 0 and self.stall_duration_us >= self.stall_period_us:
+            raise ValueError("stall_duration_us must be < stall_period_us")
+        if self.rto_us <= 0 or self.rto_backoff < 1.0:
+            raise ValueError("rto_us must be > 0 and rto_backoff >= 1.0")
+        if self.max_retransmits < 1:
+            raise ValueError("max_retransmits must be >= 1")
+
+    def to_dict(self) -> Dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "FaultSpec":
+        return cls(**d)
+
+    def label(self) -> str:
+        """Compact suffix for run labels: the axes that are active."""
+        parts = [f"s{self.seed}"]
+        if self.drop_prob:
+            parts.append(f"drop{self.drop_prob:g}")
+        if self.dup_prob:
+            parts.append(f"dup{self.dup_prob:g}")
+        if self.reorder_prob:
+            parts.append(f"ro{self.reorder_prob:g}")
+        if self.link_inflation_max:
+            parts.append(f"li{self.link_inflation_max:g}")
+        if self.stall_nodes:
+            parts.append(f"st{self.stall_nodes}")
+        return "chaos[" + ",".join(parts) + "]"
+
+
+@dataclass(frozen=True)
+class WireDecision:
+    """Outcome of the per-transmission draws for one injected message."""
+
+    drop: bool
+    duplicate: bool
+    extra_delay_us: float
+    dup_delay_us: float
+
+
+class FaultPlan:
+    """Runtime fault source for one simulation.
+
+    One plan per :class:`~repro.cluster.machine.Machine`; never share a
+    plan between machines (the PRNG stream is part of the run's
+    determinism contract).  All per-transmission draws consume a fixed
+    number of variates regardless of outcome, so the stream position
+    depends only on how many decisions were made -- which the
+    deterministic engine fixes.
+    """
+
+    def __init__(self, spec: FaultSpec, n_nodes: int):
+        spec.validate()
+        self.spec = spec
+        self.n_nodes = n_nodes
+        rng = random.Random(spec.seed)
+        # Construction-time draws, fixed order: link factors first,
+        # then straggler selection, then per-straggler phases.
+        lim = spec.link_inflation_max
+        self._link_factor: List[List[float]] = [
+            [1.0 + rng.random() * lim for _dst in range(n_nodes)]
+            for _src in range(n_nodes)
+        ]
+        k = min(spec.stall_nodes, n_nodes)
+        stalled = sorted(rng.sample(range(n_nodes), k)) if k else []
+        self._stall_phase: Dict[int, float] = {
+            node: rng.random() * spec.stall_period_us for node in stalled
+        }
+        self._rng = rng
+        self._active = (
+            spec.drop_prob > 0
+            or spec.dup_prob > 0
+            or spec.reorder_prob > 0
+        )
+
+    # ------------------------------------------------------------------
+    # per-transmission decisions (called by Network.send)
+    # ------------------------------------------------------------------
+    def decide(self, src: int, dst: int) -> Optional[WireDecision]:
+        """Draw this transmission's fate; None when nothing fires.
+
+        Exactly five variates are consumed per call whenever any
+        probabilistic axis is enabled (none when all are zero), keeping
+        the stream position a pure function of the decision count.
+        """
+        if not self._active:
+            return None
+        rng = self._rng
+        u_drop = rng.random()
+        u_dup = rng.random()
+        u_reorder = rng.random()
+        u_mag = rng.random()
+        u_dupmag = rng.random()
+        spec = self.spec
+        drop = u_drop < spec.drop_prob
+        duplicate = u_dup < spec.dup_prob
+        extra = (
+            u_mag * spec.reorder_max_us
+            if u_reorder < spec.reorder_prob
+            else 0.0
+        )
+        if not (drop or duplicate or extra):
+            return None
+        # A duplicate is a second copy trailing the first by a bounded,
+        # strictly positive gap (equal arrival would just be a tie).
+        dup_delay = 1.0 + u_dupmag * max(spec.reorder_max_us, 1.0)
+        return WireDecision(drop, duplicate, extra, dup_delay)
+
+    def link_factor(self, src: int, dst: int) -> float:
+        """Persistent latency inflation for the (src, dst) route."""
+        return self._link_factor[src][dst]
+
+    def stall_delay(self, node: int, arrival_us: float) -> float:
+        """Extra hold time if ``node`` is inside a stall window when a
+        message would arrive; 0.0 otherwise."""
+        phase = self._stall_phase.get(node)
+        if phase is None:
+            return 0.0
+        spec = self.spec
+        pos = (arrival_us - phase) % spec.stall_period_us
+        if pos < spec.stall_duration_us:
+            return spec.stall_duration_us - pos
+        return 0.0
+
+    def rto_jitter_us(self) -> float:
+        """One jitter draw for a backed-off retransmit timeout."""
+        if self.spec.rto_jitter_us <= 0.0:
+            return 0.0
+        return self._rng.random() * self.spec.rto_jitter_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan {self.spec.label()} n={self.n_nodes}>"

@@ -35,6 +35,9 @@ class Message:
     handle_cost_us: float = 3.0
     #: future resolved by the receiver (request/response correlation)
     reply_to: Optional[Future] = None
+    #: per-(src, dst)-link sequence number stamped by the reliable
+    #: transport (repro.net.reliable); -1 on the trusted legacy wire
+    seq: int = -1
 
     def __post_init__(self) -> None:
         if self.size_bytes < HEADER_BYTES:

@@ -1,4 +1,5 @@
-"""The interconnect: latency model, sender-NIC serialization, topology.
+"""The interconnect: latency model, sender-NIC serialization, topology,
+and (optionally) seeded fault injection.
 
 Latency model (fit to the paper's Section 3 microbenchmark)::
 
@@ -13,13 +14,46 @@ adds it according to the polling/interrupt mechanism.
 Messages from a node to itself (the home happens to be local) bypass
 the wire entirely: they are delivered after a small fixed delay and are
 counted separately (``stats.local_msgs``), never as network traffic.
+
+Ordering semantics (audited; see tests/test_network.py)
+-------------------------------------------------------
+The raw wire makes **no cross-message ordering guarantees**:
+
+* On one (src, dst) link, departures are NIC-serialized but arrival
+  order can still invert because latency is size-dependent -- a small
+  control message injected right behind a 4 KB data message arrives
+  first (the audit found this happens routinely in real cells, e.g.
+  ocean/sc/4096).
+* A node-local message skips the NIC queue entirely (it is a function
+  call, not a wire crossing), so it can overtake remote messages the
+  same sender injected earlier.  Intra-node messages do deliver FIFO
+  among themselves (equal delay + engine FIFO tie-break).
+
+Both behaviors are *intended*: the protocols were audited to tolerate
+them on the trusted wire, and the tests pin them.  Per-link FIFO and
+exactly-once delivery become real guarantees only under the reliable
+transport (:mod:`repro.net.reliable`), which resequences via per-link
+sequence numbers whenever a :class:`~repro.net.faultplan.FaultPlan` is
+active.
+
+Fault injection
+---------------
+With a fault plan installed, every remote transmission consults
+:meth:`FaultPlan.decide <repro.net.faultplan.FaultPlan.decide>`: the
+message may be dropped after occupying the sender NIC (lost on the
+wire), duplicated (a second arrival trails the first), or delayed
+(bounded reorder).  Per-link latency inflation and receiver stall
+windows stretch the arrival time.  Dropped and duplicated copies are
+still recorded as wire traffic -- they were injected.  Local messages
+are never perturbed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.cluster.config import MachineParams, hops_between
+from repro.net.faultplan import FaultPlan
 from repro.net.message import Message
 from repro.sim.engine import Engine
 
@@ -37,11 +71,14 @@ class Network:
         params: MachineParams,
         stats,
         deliver: Callable[[Message], None],
+        faults: Optional[FaultPlan] = None,
     ):
         self.engine = engine
         self.params = params
         self.stats = stats
         self._deliver = deliver
+        #: fault plan; None = the trusted wire (zero overhead)
+        self._faults = faults
         #: per-node time at which the NIC becomes free to inject
         self._nic_free: List[float] = [0.0] * params.n_nodes
         #: hop latency precomputed per (src, dst) -- the topology is
@@ -72,7 +109,39 @@ class Network:
         self._nic_free[msg.src] = start + p.nic_occupancy_us(msg.size_bytes)
         latency = p.one_way_latency_us(msg.size_bytes)
         latency += self._hop_us[msg.src][msg.dst]
+        if self._faults is not None:
+            self._faulty_send(msg, start, latency)
+            return
         self.engine.post(start + latency - now, self._deliver, msg)
+
+    def _faulty_send(self, msg: Message, start: float, latency: float) -> None:
+        """Perturbed delivery path; only runs under a fault plan."""
+        plan = self._faults
+        ts = self.stats.transport
+        latency *= plan.link_factor(msg.src, msg.dst)
+        decision = plan.decide(msg.src, msg.dst)
+        extra = 0.0 if decision is None else decision.extra_delay_us
+        if extra:
+            ts.delay_injected += 1
+        arrival = start + latency + extra
+        stall = plan.stall_delay(msg.dst, arrival)
+        if stall:
+            ts.stall_delays += 1
+            arrival += stall
+        now = self.engine.now
+        if decision is not None and decision.duplicate:
+            ts.dup_injected += 1
+            dup_at = arrival + decision.dup_delay_us
+            self.engine.post(dup_at - now, self._deliver, msg)
+        if decision is not None and decision.drop:
+            ts.drops += 1
+            return
+        self.engine.post(arrival - now, self._deliver, msg)
+
+    def set_deliver(self, deliver: Callable[[Message], None]) -> None:
+        """Swap the wire-arrival callback (the Machine points it at the
+        reliable transport when a fault plan is active)."""
+        self._deliver = deliver
 
     def nic_free_at(self, node: int) -> float:
         """When the node's NIC can next inject (diagnostics/tests)."""

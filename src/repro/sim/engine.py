@@ -51,6 +51,18 @@ class SimulationError(RuntimeError):
     event-budget exhaustion, scheduling into the past)."""
 
 
+#: The engine currently inside :meth:`Engine.run` in this process
+#: (``None`` between runs).  Exists for asynchronous interruption: a
+#: signal handler must not raise -- if the signal lands in a frame that
+#: discards exceptions (a GC callback, a ``__del__``, the unraisable
+#: hook's own formatting code) the raise is silently lost or escapes
+#: through unrelated machinery.  A handler instead looks up the active
+#: engine and calls :meth:`Engine.interrupt`; the event loop then
+#: raises from its own dispatch frame, which always propagates to
+#: whoever called ``run()``.
+_ACTIVE: Optional["Engine"] = None
+
+
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation.
 
@@ -181,6 +193,21 @@ class Engine:
         heapq.heappush(self._queue, (time, seq, ev, fn, args))
         return ev
 
+    def interrupt(self, exc: BaseException) -> None:
+        """Make the event loop raise ``exc`` at its next dispatch.
+
+        Async-signal-safe: the only mutation is a single ``appendleft``
+        on the zero-delay deque (atomic under the GIL), so this may be
+        called from a signal handler while :meth:`run` is mid-event.
+        The poison entry carries ``seq=-1``, sorting ahead of every
+        real event at the current instant, so nothing else runs first.
+        """
+
+        def _raise() -> None:
+            raise exc
+
+        self._fifo.appendleft((self._now, -1, None, _raise, ()))
+
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
@@ -191,9 +218,12 @@ class Engine:
         :class:`SimulationError` if the event budget is exhausted, which
         almost always indicates a protocol livelock.
         """
+        global _ACTIVE
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        prev_active = _ACTIVE
+        _ACTIVE = self
         queue = self._queue
         fifo = self._fifo
         pop = heapq.heappop
@@ -254,6 +284,7 @@ class Engine:
                 self._now = until
             return self._now
         finally:
+            _ACTIVE = prev_active
             self._events_run = events_run
             self._running = False
 

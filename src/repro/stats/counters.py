@@ -20,6 +20,45 @@ from typing import Dict
 
 
 @dataclass(slots=True)
+class TransportStats:
+    """Fault-injection and reliable-transport counters (chaos runs).
+
+    Attached as ``stats.transport`` only when a fault plan is active
+    (:meth:`Stats.enable_transport`), so fault-free runs serialize
+    byte-identically to builds that predate the chaos layer.
+    """
+
+    #: transmissions the fault plan dropped on the wire
+    drops: int = 0
+    #: duplicate copies the fault plan injected
+    dup_injected: int = 0
+    #: transmissions given bounded-reorder extra latency
+    delay_injected: int = 0
+    #: arrivals held to the end of a receiver stall window
+    stall_delays: int = 0
+    #: sequenced first transmissions (excludes retransmits and acks)
+    data_sent: int = 0
+    #: ack-timeout expirations at the sender
+    timeouts: int = 0
+    #: retransmissions issued (timeouts that had budget left)
+    retransmits: int = 0
+    #: acks injected by receivers
+    acks_sent: int = 0
+    #: arrivals discarded as duplicates (fault-plan dups + retransmit
+    #: copies whose original made it)
+    dup_suppressed: int = 0
+    #: arrivals buffered because an earlier sequence number was missing
+    reorder_buffered: int = 0
+
+    def to_dict(self) -> Dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "TransportStats":
+        return cls(**d)
+
+
+@dataclass(slots=True)
 class NodeStats:
     """Per-node accounting.
 
@@ -81,6 +120,20 @@ class Stats:
         self.parallel_time_us: float = 0.0
         #: modeled single-node execution time of the same work
         self.sequential_time_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    # chaos (fault injection + reliable transport)
+    # ------------------------------------------------------------------
+    def enable_transport(self) -> "TransportStats":
+        """Attach the chaos counter block (idempotent).
+
+        Deliberately *not* done in ``__init__``: ``to_dict`` dumps every
+        instance attribute, and the stats of a fault-free run must stay
+        byte-identical to pre-chaos builds.
+        """
+        if getattr(self, "transport", None) is None:
+            self.transport = TransportStats()
+        return self.transport
 
     # ------------------------------------------------------------------
     # recording helpers
@@ -174,6 +227,8 @@ class Stats:
                 out[k] = [n.to_dict() for n in self.nodes]
             elif isinstance(v, Counter):
                 out[k] = dict(v)
+            elif isinstance(v, TransportStats):
+                out[k] = v.to_dict()
             else:
                 out[k] = v
         return out
@@ -186,6 +241,8 @@ class Stats:
         for k, v in d.items():
             if k == "nodes":
                 st.nodes = [NodeStats.from_dict(nd) for nd in v]
+            elif k == "transport":
+                st.transport = TransportStats.from_dict(v)
             elif isinstance(getattr(st, k, None), Counter):
                 setattr(st, k, Counter(v))
             elif k != "n_nodes":
@@ -193,7 +250,22 @@ class Stats:
         return st
 
     def summary(self) -> Dict[str, float]:
-        """Flat dictionary used by the harness report writers."""
+        """Flat dictionary used by the harness report writers.
+
+        Chaos runs gain ``retransmits``/``timeouts``/``drops`` keys;
+        fault-free summaries are unchanged.
+        """
+        transport = getattr(self, "transport", None)
+        extra = (
+            {
+                "drops": transport.drops,
+                "retransmits": transport.retransmits,
+                "timeouts": transport.timeouts,
+                "dup_suppressed": transport.dup_suppressed,
+            }
+            if transport is not None
+            else {}
+        )
         return {
             "read_faults": self.read_faults,
             "write_faults": self.write_faults,
@@ -210,6 +282,7 @@ class Stats:
             "parallel_time_us": self.parallel_time_us,
             "sequential_time_us": self.sequential_time_us,
             "speedup": self.speedup,
+            **extra,
         }
 
     def __repr__(self) -> str:  # pragma: no cover

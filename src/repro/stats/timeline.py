@@ -46,7 +46,10 @@ class Timeline:
         )
 
     def _install(self, machine) -> None:
-        orig_send = machine.network.send
+        # Wrap the machine's send seam (not network.send directly):
+        # protocol/sync code routes through machine.send, which under a
+        # fault plan is the reliable transport's entry point.
+        orig_send = machine.send
 
         def traced_send(msg):
             if self._filter is None or self._filter(msg.mtype):
@@ -54,7 +57,7 @@ class Timeline:
                             f"{msg.mtype}->{msg.dst} b={msg.block}")
             orig_send(msg)
 
-        machine.network.send = traced_send
+        machine.send = traced_send
 
         orig_deliver = machine.network._deliver
 

@@ -88,7 +88,7 @@ class BarrierService:
             },
             handle_cost_us=self.params.sync_handler_us,
         )
-        self.m.network.send(msg)
+        self.m.send(msg)
         node.node_stats.barriers += 1
         payload = yield from node.wait(fut, "barrier_wait_us")
         yield from protocol.apply_sync(node, payload)
@@ -131,7 +131,7 @@ class BarrierService:
                 handle_cost_us=self.params.sync_handler_us
                 + self.params.write_notice_us * n_notices * 0.1,
             )
-            self.m.network.send(rel)
+            self.m.send(rel)
 
     @staticmethod
     def _h_release(node, msg: Message) -> None:

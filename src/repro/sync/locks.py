@@ -237,4 +237,4 @@ class LockService:
             payload=payload,
             handle_cost_us=cost if cost is not None else self.params.sync_handler_us,
         )
-        self.m.network.send(msg)
+        self.m.send(msg)

@@ -258,6 +258,196 @@ class TestSweepIntegration:
         assert m.best_combination("lu")[:2] == ("sc", 1024)
 
 
+class TestFingerprintScoping:
+    """The cache fingerprint covers simulation semantics only:
+    measurement/presentation edits must not invalidate cached results."""
+
+    def test_relevance_predicate(self):
+        from repro.exec.cache import _fingerprint_relevant
+
+        # semantics: in
+        assert _fingerprint_relevant("core/hlrc.py")
+        assert _fingerprint_relevant("net/myrinet.py")
+        assert _fingerprint_relevant("harness/experiment.py")
+        assert _fingerprint_relevant("harness/matrix.py")
+        assert _fingerprint_relevant("exec/serialize.py")
+        # measurement/presentation: out
+        assert not _fingerprint_relevant("perf/micros.py")
+        assert not _fingerprint_relevant("analysis/sensitivity.py")
+        assert not _fingerprint_relevant("harness/report.py")
+        assert not _fingerprint_relevant("harness/tables.py")
+        assert not _fingerprint_relevant("harness/figures.py")
+        assert not _fingerprint_relevant("harness/cli.py")
+
+    def test_perf_edit_keeps_keys_core_edit_invalidates(self, tmp_path):
+        import shutil
+
+        import repro
+        from pathlib import Path
+
+        from repro.exec.cache import _fingerprint_tree
+
+        tree = tmp_path / "repro"
+        shutil.copytree(Path(repro.__file__).parent, tree)
+        before = _fingerprint_tree(tree)
+        # Editing the perf suite leaves every cache key stable ...
+        micros = tree / "perf" / "micros.py"
+        micros.write_text(micros.read_text() + "\n# tuned threshold\n")
+        assert _fingerprint_tree(tree) == before
+        # ... while touching a protocol invalidates everything.
+        hlrc = tree / "core" / "hlrc.py"
+        hlrc.write_text(hlrc.read_text() + "\n# semantics change\n")
+        assert _fingerprint_tree(tree) != before
+
+
+class TestTimeoutDelivery:
+    """The SIGALRM handler must never raise: a raise from a signal
+    handler vanishes when it lands in a frame that discards exceptions
+    (a GC callback, a ``__del__``) and escapes through unrelated code
+    when it lands in exception-reporting machinery.  The handler only
+    flags the timeout and poisons the active engine; the engine's own
+    dispatch frame does the raising."""
+
+    def test_handler_is_raise_free_and_sets_flag(self):
+        import signal as _signal
+
+        from repro.exec import pool
+
+        pool._TIMED_OUT = False
+        try:
+            # No engine active: must not raise, must leave the flag.
+            pool._alarm_handler(_signal.SIGALRM, None)
+            assert pool._TIMED_OUT
+        finally:
+            pool._TIMED_OUT = False
+
+    def test_poisoned_engine_raises_from_its_own_frame(self):
+        from repro.exec.pool import CellTimeout
+        from repro.sim.engine import Engine
+
+        eng = Engine()
+        ran = []
+        eng.post(5.0, ran.append, "late")
+        eng.interrupt(CellTimeout("per-run timeout expired"))
+        with pytest.raises(CellTimeout):
+            eng.run()
+        # The poison sorts ahead of every pending event.
+        assert ran == []
+
+    def test_active_engine_registered_during_run(self):
+        from repro.sim import engine as engine_mod
+        from repro.sim.engine import Engine
+
+        seen = []
+        eng = Engine()
+        eng.post(0.0, lambda: seen.append(engine_mod._ACTIVE))
+        eng.run()
+        assert seen == [eng]
+        assert engine_mod._ACTIVE is None
+
+    def test_handler_fire_mid_run_interrupts_the_simulation(self):
+        import signal as _signal
+
+        from repro.exec import pool
+        from repro.sim.engine import Engine
+
+        eng = Engine()
+        ran = []
+
+        def tick(k):
+            if k == 2:
+                # Stand-in for an asynchronous SIGALRM landing between
+                # bytecodes of event k=2.
+                pool._alarm_handler(_signal.SIGALRM, None)
+            ran.append(k)
+            eng.post(1.0, tick, k + 1)
+
+        eng.post(0.0, tick, 0)
+        try:
+            with pytest.raises(pool.CellTimeout):
+                eng.run()
+        finally:
+            pool._TIMED_OUT = False
+        # Event 2 finished (the handler never raises mid-event); the
+        # poison then beat event 3 to the dispatcher.
+        assert ran == [0, 1, 2]
+
+    def test_fire_outside_the_event_loop_still_fails_the_cell(self, monkeypatch):
+        # A timeout whose every fire lands while no engine is
+        # dispatching (setup, teardown) produces no exception at all --
+        # _simulate_cell must convert the flag into a CellTimeout
+        # record after the run returns.
+        import signal as _signal
+
+        import repro.harness.experiment as exp
+        from repro.exec import pool
+
+        class _FakeResult:
+            stats = None
+            check = None
+
+        def fake_run_experiment(cfg, max_events=None, check=False):
+            pool._alarm_handler(_signal.SIGALRM, None)
+            return _FakeResult()
+
+        monkeypatch.setattr(exp, "run_experiment", fake_run_experiment)
+        rec = pool._simulate_cell(tiny_cfg(), timeout_s=60.0)
+        assert not rec.ok and rec.error_type == "CellTimeout"
+        assert pool._TIMED_OUT is False  # cleared on the way out
+
+
+class TestTimeoutWorkerReset:
+    """A CellTimeout fires at an arbitrary bytecode boundary; the
+    worker must reset process-level memo state before its next cell."""
+
+    def _timeout_cell(self):
+        from repro.exec.pool import _simulate_cell
+
+        cfg = tiny_cfg(app="water-nsquared", granularity=64)
+        rec = _simulate_cell(cfg, timeout_s=1e-4)
+        assert not rec.ok and rec.error_type == "CellTimeout"
+
+    def test_timeout_resets_process_memos(self):
+        import repro.exec.cache as cache_mod
+        from repro.harness import matrix
+
+        cache_mod._FINGERPRINT = "poisoned-by-interrupted-build"
+        matrix._CACHE["sentinel"] = "stale"
+        try:
+            self._timeout_cell()
+            assert cache_mod._FINGERPRINT is None
+            assert matrix._CACHE == {}
+        finally:
+            cache_mod._FINGERPRINT = None
+            matrix._CACHE.clear()
+
+    def test_registered_reset_hook_runs(self):
+        from repro.exec import pool
+
+        calls = []
+        pool.register_worker_reset(lambda: calls.append(1))
+        try:
+            self._timeout_cell()
+            assert calls == [1]
+        finally:
+            pool._WORKER_RESETS.clear()
+
+    def test_normal_cell_after_timeout_is_cache_identical(self, tmp_path):
+        # The regression the reset exists for: a timed-out cell followed
+        # by a normal cell in the same process must produce exactly the
+        # record (and cache entry) a fresh process would.
+        cache = ResultCache(tmp_path)
+        cfg = tiny_cfg()
+        fresh = execute(cfg, cache=cache)
+        assert fresh.ok
+        key_fresh = cache.key(cfg)
+        self._timeout_cell()
+        again = execute(cfg, cache=ResultCache(tmp_path))
+        assert again.cached  # same key -> served from disk
+        assert ResultCache(tmp_path).key(cfg) == key_fresh
+        assert again.summary() == fresh.summary()
+
+
 class TestMaxEventsPlumbing:
     def test_machine_accepts_max_events(self):
         m = Machine(MachineParams(n_nodes=2, granularity=1024), max_events=123)

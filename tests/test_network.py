@@ -106,3 +106,62 @@ class TestNetwork:
         net.send(Message(src=2, dst=1, mtype="small", size_bytes=24))
         eng.run()
         assert times["small"] < times["big"]
+
+
+class TestOrderingSemantics:
+    """Pin the audited raw-wire (non-)ordering guarantees.
+
+    These behaviors are *intended* (see the myrinet module docstring):
+    the protocols tolerate them on the trusted wire, and per-link FIFO
+    only exists under the reliable transport.  If one of these tests
+    starts failing, the wire's ordering contract changed -- audit every
+    protocol handler before accepting it.
+    """
+
+    def test_small_overtakes_large_on_same_link(self):
+        # NIC-serialized departures, size-dependent latency: a control
+        # message injected right behind a 4 KB transfer on the SAME
+        # (src, dst) link arrives first.
+        eng, params, stats, net, _ = make_net()
+        order = []
+        net._deliver = lambda m: order.append(m.mtype)
+        net.send(Message(src=0, dst=1, mtype="big", size_bytes=4096))
+        net.send(Message(src=0, dst=1, mtype="small", size_bytes=24))
+        eng.run()
+        assert order == ["small", "big"]
+        # ... which is exactly what the latency model predicts.
+        assert params.nic_occupancy_us(4096) + params.one_way_latency_us(
+            24
+        ) < params.one_way_latency_us(4096)
+
+    def test_local_overtakes_in_flight_remote(self):
+        # A node-local message is a function call, not a wire crossing:
+        # it skips the NIC queue and beats remote messages the same
+        # sender injected earlier.
+        eng, params, stats, net, _ = make_net()
+        order = []
+        net._deliver = lambda m: order.append(m.mtype)
+        net.send(Message(src=0, dst=1, mtype="remote", size_bytes=24))
+        net.send(Message(src=0, dst=0, mtype="local", size_bytes=4096))
+        eng.run()
+        assert order == ["local", "remote"]
+
+    def test_local_messages_fifo_among_themselves(self):
+        eng, params, stats, net, _ = make_net()
+        order = []
+        net._deliver = lambda m: order.append(m.mtype)
+        for k in range(4):
+            net.send(Message(src=2, dst=2, mtype=f"l{k}", size_bytes=24))
+        eng.run()
+        assert order == ["l0", "l1", "l2", "l3"]
+
+    def test_equal_size_messages_fifo_on_one_link(self):
+        # Same size, same link: NIC serialization + fixed latency keeps
+        # send order (the only FIFO the raw wire does provide).
+        eng, params, stats, net, _ = make_net()
+        order = []
+        net._deliver = lambda m: order.append(m.mtype)
+        for k in range(4):
+            net.send(Message(src=0, dst=1, mtype=f"m{k}", size_bytes=256))
+        eng.run()
+        assert order == ["m0", "m1", "m2", "m3"]
