@@ -260,7 +260,7 @@ class ERCProtocol(CoherenceProtocol):
         # behind its back.
         self._storms[block] = self._storms.get(block, 0) + 1
         targets = [
-            c for c in self.copyset.get(block, ())
+            c for c in sorted(self.copyset.get(block, ()))
             if c not in (writer, home_node.id)
         ]
         self.copyset[block] = {writer}

@@ -18,6 +18,12 @@ Subcommands:
 * ``perf`` -- run the simulator-core perf suite (:mod:`repro.perf`);
   with ``--against BENCH_simcore.json``, exit 2 on a >15% calibrated
   median regression or a determinism break.
+* ``mc`` -- exhaustive small-scope model checking (:mod:`repro.mc`):
+  enumerate event interleavings of tiny litmus programs under a
+  controllable scheduler (with dynamic partial-order reduction) and
+  check every schedule against the protocol's memory model and the
+  invariant sanitizer; exit 1 on forbidden outcomes or findings
+  (budget-capped cells are reported, not failures).
 
 The sweeping subcommands also accept ``--check`` to run every matrix
 cell under the checkers (cells with findings are recorded as failed).
@@ -296,6 +302,87 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_mc(args) -> int:
+    """Model-check litmus programs; exit 1 on verified findings."""
+    from repro.exec import EventLog
+    from repro.mc import Explorer, get_litmus, litmus_names
+    from repro.mc.report import (
+        describe_failures,
+        reduction_lines,
+        results_table,
+        to_json,
+        write_json,
+    )
+
+    names = litmus_names() if args.litmus == "all" else args.litmus.split(",")
+    try:
+        for name in names:
+            get_litmus(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    protocols = (
+        args.protocols.split(",") if args.protocols
+        else ["sc", "swlrc", "hlrc"]
+    )
+    grans = [int(g) for g in args.granularity.split(",")]
+    events = EventLog(args.events) if args.events else None
+
+    results = []
+    naive = []
+    for name in names:
+        lit = get_litmus(name)
+        for proto in protocols:
+            for g in grans:
+                print(f"  exploring {name}/{proto}/g{g}"
+                      f"{'' if args.dpor else ' (naive)'}", file=sys.stderr)
+                r = Explorer(
+                    lit, proto, g,
+                    dpor=args.dpor,
+                    max_schedules=args.max_schedules,
+                    max_steps=args.max_steps,
+                ).run()
+                results.append(r)
+                if events is not None:
+                    events.emit(
+                        "mc_cell",
+                        litmus=name, protocol=proto, granularity=g,
+                        dpor=r.dpor, schedules=r.schedules,
+                        transitions=r.transitions, complete=r.complete,
+                        ok=r.ok,
+                    )
+                    if r.counterexample is not None:
+                        events.emit(
+                            "mc_counterexample",
+                            **r.counterexample.to_dict(),
+                        )
+                if args.compare:
+                    n = Explorer(
+                        lit, proto, g,
+                        dpor=False,
+                        max_schedules=args.max_schedules,
+                        max_steps=args.max_steps,
+                    ).run()
+                    naive.append(n)
+
+    print(results_table(results))
+    if args.compare:
+        print()
+        for line in reduction_lines(results, naive):
+            print(line)
+    failures = describe_failures(results)
+    if failures:
+        print()
+        for line in failures:
+            print(line, file=sys.stderr)
+    if args.json:
+        write_json(args.json, to_json(results, naive if args.compare else None))
+        print(f"mc results written to {args.json}", file=sys.stderr)
+    if events is not None:
+        events.close()
+    return 1 if failures else 0
+
+
 def cmd_perf(args) -> int:
     """Measure the perf suite; optionally gate against a baseline."""
     from repro.perf import (
@@ -455,6 +542,39 @@ def main(argv=None) -> int:
     p.add_argument("--out", default=None, metavar="FILE",
                    help="also write this run's JSON to FILE")
     p.set_defaults(fn=cmd_perf)
+
+    p = sub.add_parser(
+        "mc",
+        help="model-check litmus programs over all schedules "
+             "(exit 1 on forbidden outcomes or checker findings)",
+    )
+    p.add_argument("--litmus", default="all",
+                   help="comma-separated litmus subset (default: all; "
+                        "sb, mp, lb, iriw, lock-handoff, barrier-reset)")
+    p.add_argument("--protocols", "--protocol", dest="protocols", default=None,
+                   help="comma-separated protocol subset "
+                        "(default: sc,swlrc,hlrc)")
+    p.add_argument("--granularity", default="64",
+                   help="comma-separated coherence granularities in bytes "
+                        "(default: 64)")
+    p.add_argument("--max-schedules", type=int, default=5000,
+                   help="schedule budget per cell; a cell over budget is "
+                        "reported as incomplete, not failed (default 5000)")
+    p.add_argument("--max-steps", type=int, default=20000,
+                   help="per-schedule event budget (default 20000)")
+    p.add_argument("--dpor", dest="dpor", action="store_true", default=True,
+                   help="dynamic partial-order reduction (default)")
+    p.add_argument("--no-dpor", dest="dpor", action="store_false",
+                   help="naive DFS over every enabled choice")
+    p.add_argument("--compare", action="store_true",
+                   help="also run the naive DFS and print the per-cell "
+                        "DPOR reduction")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write results (and --compare data) as JSON to FILE")
+    p.add_argument("--events", default=None, metavar="FILE",
+                   help="append mc_cell/mc_counterexample events to the "
+                        "JSONL log FILE")
+    p.set_defaults(fn=cmd_mc)
 
     p = sub.add_parser("report", help="full markdown reproduction report")
     p.add_argument("--out", default=None, help="output file (default stdout)")

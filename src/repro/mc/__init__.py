@@ -1,0 +1,57 @@
+"""Exhaustive small-scope model checking of the DSM protocols.
+
+The PR 2 checkers validate the one schedule the simulator's
+deterministic event order happens to produce; this package enumerates
+*all* schedules of tiny litmus programs (within wire-order constraints
+and budgets) and checks every one against the protocol's memory model
+and the invariant sanitizer.  See ``docs/MODELCHECKING.md``.
+
+Layers:
+
+* :mod:`repro.mc.scheduler` -- :class:`ControlledScheduler`, a
+  :class:`~repro.sim.engine.SchedulerPolicy` that records, constrains
+  and replays event schedules with dependency footprints.
+* :mod:`repro.mc.explore` -- stateless DFS with dynamic partial-order
+  reduction; produces :class:`ExplorationResult` /
+  :class:`Counterexample`.
+* :mod:`repro.mc.litmus` -- the litmus catalog (SB, MP, LB, IRIW,
+  lock-handoff, barrier-reset) with per-model allowed outcome sets.
+* :mod:`repro.mc.broken` -- ``swlrc-broken``, a protocol with a
+  deliberately planted bug the suite must catch (imported here, so the
+  variant exists whenever mc is in play and never otherwise).
+"""
+
+from repro.mc import broken  # noqa: F401  (registers swlrc-broken)
+from repro.mc.explore import (
+    Counterexample,
+    ExplorationResult,
+    Explorer,
+    explore,
+    replay,
+)
+from repro.mc.litmus import LITMUS, Litmus, get_litmus, litmus_names, model_of
+from repro.mc.scheduler import (
+    ControlledScheduler,
+    ReplayDivergence,
+    Step,
+    TraceBudgetExceeded,
+    format_trace,
+)
+
+__all__ = [
+    "ControlledScheduler",
+    "Counterexample",
+    "ExplorationResult",
+    "Explorer",
+    "LITMUS",
+    "Litmus",
+    "ReplayDivergence",
+    "Step",
+    "TraceBudgetExceeded",
+    "explore",
+    "format_trace",
+    "get_litmus",
+    "litmus_names",
+    "model_of",
+    "replay",
+]

@@ -1,0 +1,317 @@
+"""Litmus tests: tiny programs with per-memory-model outcome sets.
+
+Each litmus is a 2-4 node, 1-2 block program in the classic
+memory-model litmus shapes (store buffering, message passing, load
+buffering, independent reads of independent writes, lock hand-off,
+barrier reset).  A litmus declares, per memory model, the set of final
+outcomes the model **allows**; the exploration driver flags any
+explored schedule whose outcome falls outside that set, plus any
+schedule on which the PR 2 invariant sanitizer (or, for race-free
+litmuses, the race detector) reports a finding.
+
+Models
+------
+``sc``
+    Sequential consistency: every read returns the value of the last
+    write in a single global interleaving of all accesses.
+``lrc``
+    Lazy release consistency (the SW-LRC/HLRC contract): writes become
+    visible to another node only through a release -> acquire chain on
+    the same synchronization variable.  Unsynchronized (racy) reads may
+    return either value, so the racy litmuses allow every outcome and
+    only the synchronized ones constrain it.
+
+An ``allowed`` value of ``None`` means *any outcome is allowed* (the
+schedule is still checked by the sanitizer).  Protocols map to models
+through :func:`model_of`: ``sc`` implements ``sc``, everything else
+implements (at least) ``lrc``.
+
+Outcomes are the flattened per-rank generator return values -- each
+rank returns a tuple of the values it observed, and the outcome tuple
+is their concatenation in rank order.  Reading the observations out of
+the generators (rather than out of post-run memory) means an outcome
+never depends on which node happens to hold a block copy after the
+run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.cluster.config import MachineParams, NotificationMechanism
+from repro.cluster.machine import Machine
+
+Outcome = Tuple[int, ...]
+
+
+def model_of(protocol: str) -> str:
+    """Memory model a protocol claims to implement."""
+    return "sc" if protocol == "sc" else "lrc"
+
+
+@dataclass
+class LitmusInstance:
+    """One configured machine ready for a single explored schedule."""
+
+    machine: Machine
+    program: Callable
+    nprocs: int
+    kwargs: dict
+
+
+@dataclass(frozen=True)
+class Litmus:
+    """One litmus test: program shape + per-model allowed outcomes."""
+
+    name: str
+    title: str
+    n_procs: int
+    n_vars: int
+    #: home node per variable (index modulo n_procs)
+    homes: Tuple[int, ...]
+    #: True when every access is synchronized -- the race detector is
+    #: asserted clean on every schedule in addition to the outcome sets
+    race_free: bool
+    #: model name -> allowed outcome set (None = every outcome allowed)
+    allowed: "Dict[str, Optional[FrozenSet[Outcome]]]"
+    body: Callable
+    doc: str = ""
+
+    def allowed_for(self, protocol: str) -> Optional[FrozenSet[Outcome]]:
+        return self.allowed.get(model_of(protocol))
+
+    def instantiate(
+        self,
+        protocol: str,
+        granularity: int = 64,
+        mechanism: NotificationMechanism = NotificationMechanism.POLLING,
+    ) -> LitmusInstance:
+        """Build a fresh machine with one block per variable.
+
+        Variables sit at consecutive granularity-aligned addresses, so
+        every granularity gives the same block-per-variable layout (the
+        litmus logic is granularity-independent; the schedules are not,
+        since message sizes scale with the block).
+        """
+        params = MachineParams(
+            n_nodes=self.n_procs,
+            granularity=granularity,
+            mechanism=mechanism,
+        )
+        machine = Machine(params, protocol=protocol)
+        seg = machine.alloc(granularity * self.n_vars, self.name)
+        addrs = [seg.base + k * granularity for k in range(self.n_vars)]
+        for k, addr in enumerate(addrs):
+            machine.place(addr, granularity, self.homes[k] % self.n_procs)
+        return LitmusInstance(
+            machine=machine,
+            program=self.body,
+            nprocs=self.n_procs,
+            kwargs={"addrs": addrs},
+        )
+
+
+# ======================================================================
+# programs
+# ======================================================================
+def _sb(dsm, rank, nprocs, addrs):
+    """Store buffering: each node writes its own flag, reads the other's."""
+    x, y = addrs
+    mine, other = (x, y) if rank == 0 else (y, x)
+    yield from dsm.write(mine, b"\x01")
+    v = yield from dsm.read(other, 1)
+    return (int(v[0]),)
+
+
+def _mp(dsm, rank, nprocs, addrs):
+    """Message passing under a lock: data then flag, read in reverse."""
+    x, f = addrs
+    if rank == 0:
+        yield from dsm.acquire(0)
+        yield from dsm.write(x, b"\x2a")  # 42
+        yield from dsm.write(f, b"\x01")
+        yield from dsm.release(0)
+        return ()
+    yield from dsm.acquire(0)
+    rf = yield from dsm.read(f, 1)
+    rx = yield from dsm.read(x, 1)
+    yield from dsm.release(0)
+    return (int(rf[0]), int(rx[0]))
+
+
+def _lb(dsm, rank, nprocs, addrs):
+    """Load buffering: read the other's flag, then write your own."""
+    x, y = addrs
+    mine, other = (x, y) if rank == 0 else (y, x)
+    v = yield from dsm.read(other, 1)
+    yield from dsm.write(mine, b"\x01")
+    return (int(v[0]),)
+
+
+def _iriw(dsm, rank, nprocs, addrs):
+    """Independent reads of independent writes, 4 nodes."""
+    x, y = addrs
+    if rank == 0:
+        yield from dsm.write(x, b"\x01")
+        return ()
+    if rank == 1:
+        yield from dsm.write(y, b"\x01")
+        return ()
+    first, second = (x, y) if rank == 2 else (y, x)
+    a = yield from dsm.read(first, 1)
+    b = yield from dsm.read(second, 1)
+    return (int(a[0]), int(b[0]))
+
+
+def _lock_handoff(dsm, rank, nprocs, addrs):
+    """Each node increments a lock-protected counter twice and
+    records the values it observed."""
+    c = addrs[0]
+    seen = []
+    for _ in range(2):
+        yield from dsm.acquire(0)
+        v = yield from dsm.read(c, 1)
+        seen.append(int(v[0]))
+        yield from dsm.write(c, bytes([int(v[0]) + 1]))
+        yield from dsm.release(0)
+    return tuple(seen)
+
+
+def _barrier_reset(dsm, rank, nprocs, addrs):
+    """Three episodes of one barrier: write-before, read-after, then a
+    second writer in the next phase -- exercises episode reset and
+    the all-to-all notice exchange at barriers."""
+    x = addrs[0]
+    out = []
+    if rank == 0:
+        yield from dsm.write(x, b"\x01")
+    yield from dsm.barrier(0)
+    v = yield from dsm.read(x, 1)
+    out.append(int(v[0]))
+    yield from dsm.barrier(0)
+    if rank == 1:
+        yield from dsm.write(x, b"\x02")
+    yield from dsm.barrier(0)
+    v = yield from dsm.read(x, 1)
+    out.append(int(v[0]))
+    return tuple(out)
+
+
+# ======================================================================
+# allowed-outcome sets
+# ======================================================================
+def _all_binary(n: int) -> FrozenSet[Outcome]:
+    return frozenset(itertools.product((0, 1), repeat=n))
+
+
+#: lock hand-off: the four observed counter values partition 0..3 with
+#: each node's pair increasing (its tenures are program-ordered)
+_HANDOFF_OK = frozenset(
+    (a, b, c, d)
+    for (a, b, c, d) in itertools.permutations(range(4))
+    if a < b and c < d
+)
+
+LITMUS: "Dict[str, Litmus]" = {}
+
+
+def _add(litmus: Litmus) -> Litmus:
+    LITMUS[litmus.name] = litmus
+    return litmus
+
+
+_add(Litmus(
+    name="sb",
+    title="store buffering",
+    n_procs=2, n_vars=2, homes=(0, 1), race_free=False,
+    allowed={
+        # SC forbids both reads missing both writes.
+        "sc": _all_binary(2) - {(0, 0)},
+        "lrc": None,
+    },
+    body=_sb,
+    doc="w x=1; r y  ||  w y=1; r x",
+))
+
+_add(Litmus(
+    name="mp",
+    title="message passing (lock-synchronized)",
+    n_procs=2, n_vars=2, homes=(0, 1), race_free=True,
+    allowed={
+        # The reader's critical section runs entirely before or
+        # entirely after the writer's: flag and data travel together.
+        "sc": frozenset({(0, 0), (1, 42)}),
+        "lrc": frozenset({(0, 0), (1, 42)}),
+    },
+    body=_mp,
+    doc="lock{w x=42; w f=1}  ||  lock{r f; r x}",
+))
+
+_add(Litmus(
+    name="lb",
+    title="load buffering",
+    n_procs=2, n_vars=2, homes=(0, 1), race_free=False,
+    allowed={
+        # (1,1) needs both reads to see writes that happen after them:
+        # impossible in any operational execution (no speculation).
+        "sc": _all_binary(2) - {(1, 1)},
+        "lrc": _all_binary(2) - {(1, 1)},
+    },
+    body=_lb,
+    doc="r y; w x=1  ||  r x; w y=1",
+))
+
+_add(Litmus(
+    name="iriw",
+    title="independent reads of independent writes",
+    n_procs=4, n_vars=2, homes=(0, 1), race_free=False,
+    allowed={
+        # SC forbids the two readers disagreeing on the write order.
+        "sc": _all_binary(4) - {(1, 0, 1, 0)},
+        "lrc": None,
+    },
+    body=_iriw,
+    doc="w x=1 || w y=1 || r x; r y || r y; r x",
+))
+
+_add(Litmus(
+    name="lock-handoff",
+    title="lock-protected counter hand-off",
+    n_procs=2, n_vars=1, homes=(0,), race_free=True,
+    allowed={
+        # Every model: mutual exclusion + coherent hand-off means the
+        # observed values are exactly 0..3, one per tenure, in global
+        # tenure order.  A lost update duplicates a value.
+        "sc": _HANDOFF_OK,
+        "lrc": _HANDOFF_OK,
+    },
+    body=_lock_handoff,
+    doc="2x lock{v=r c; w c=v+1} per node; observed v's partition 0..3",
+))
+
+_add(Litmus(
+    name="barrier-reset",
+    title="barrier episodes publish phased writes",
+    n_procs=2, n_vars=1, homes=(0,), race_free=True,
+    allowed={
+        "sc": frozenset({(1, 2, 1, 2)}),
+        "lrc": frozenset({(1, 2, 1, 2)}),
+    },
+    body=_barrier_reset,
+    doc="w x=1; bar; r x; bar; (rank1: w x=2); bar; r x",
+))
+
+
+def get_litmus(name: str) -> Litmus:
+    try:
+        return LITMUS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown litmus {name!r}; available: {sorted(LITMUS)}"
+        ) from None
+
+
+def litmus_names() -> List[str]:
+    return sorted(LITMUS)

@@ -1,0 +1,106 @@
+"""Table and JSON rendering of exploration results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from repro.mc.explore import ExplorationResult
+
+_COLS = (
+    "litmus", "protocol", "g", "mode", "schedules", "events",
+    "longest", "outcomes", "status",
+)
+
+
+def _status(r: ExplorationResult) -> str:
+    if not r.ok:
+        return "FAIL"
+    return "ok" if r.complete else "budget"
+
+
+def _row(r: ExplorationResult) -> List[str]:
+    return [
+        r.litmus,
+        r.protocol,
+        str(r.granularity),
+        "dpor" if r.dpor else "naive",
+        str(r.schedules),
+        str(r.transitions),
+        str(r.max_trace_len),
+        str(len(r.outcomes)),
+        _status(r),
+    ]
+
+
+def results_table(results: Sequence[ExplorationResult]) -> str:
+    """Fixed-width table, one row per exploration cell."""
+    rows = [list(_COLS)] + [_row(r) for r in results]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(_COLS))]
+    lines = []
+    for k, row in enumerate(rows):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def reduction_lines(
+    dpor: Sequence[ExplorationResult],
+    naive: Sequence[ExplorationResult],
+) -> List[str]:
+    """Per-cell DPOR-vs-naive schedule counts (the measured reduction)."""
+    by_key: Dict[tuple, ExplorationResult] = {
+        (r.litmus, r.protocol, r.granularity): r for r in naive
+    }
+    out = []
+    for r in dpor:
+        n = by_key.get((r.litmus, r.protocol, r.granularity))
+        if n is None:
+            continue
+        suffix = "" if n.complete else " (naive hit budget)"
+        ratio = n.schedules / r.schedules if r.schedules else float("nan")
+        out.append(
+            f"{r.litmus}/{r.protocol}: dpor {r.schedules} vs naive "
+            f"{n.schedules} schedules ({ratio:.1f}x){suffix}"
+        )
+    return out
+
+
+def describe_failures(results: Sequence[ExplorationResult]) -> List[str]:
+    out = []
+    for r in results:
+        if r.ok:
+            continue
+        head = f"{r.litmus}/{r.protocol}/g{r.granularity}:"
+        if r.forbidden:
+            shown = ", ".join(
+                f"{k}x{v}" for k, v in sorted(r.forbidden.items())
+            )
+            out.append(f"{head} forbidden outcome(s) {shown}")
+        if r.check_failures:
+            out.append(f"{head} {r.check_failures} schedule(s) with "
+                       "checker findings or crashes")
+        if r.counterexample is not None:
+            out.append(r.counterexample.describe())
+    return out
+
+
+def to_json(
+    results: Sequence[ExplorationResult],
+    naive: Optional[Sequence[ExplorationResult]] = None,
+) -> dict:
+    doc = {"results": [r.to_dict() for r in results]}
+    if naive:
+        doc["naive"] = [r.to_dict() for r in naive]
+    return doc
+
+
+def write_json(path: str, doc: dict, fp: Optional[TextIO] = None) -> None:
+    if fp is not None:
+        json.dump(doc, fp, indent=2, sort_keys=True)
+        fp.write("\n")
+        return
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -13,6 +13,8 @@ The suite covers the four hot layers of the simulator:
 
 * ``engine_churn`` -- the event loop alone: heap-lane scheduling,
   the zero-delay FIFO fast lane, and lazily-skipped cancellations;
+* ``engine_policy`` -- the same workload through the policy-driven
+  dispatch loop (``repro.mc``'s per-schedule cost);
 * ``vc_merge`` -- vector-clock merge/dominates, the per-grant cost
   of the LRC protocols;
 * ``diff_roundtrip`` -- twin/diff create+apply over the three block
@@ -61,6 +63,49 @@ def engine_churn(n_events: int = 40_000, chains: int = 16) -> Tuple[Counts, None
     from repro.sim.engine import Engine
 
     eng = Engine()
+    budget = [n_events]
+
+    def sink() -> None:
+        pass
+
+    def hop(chain: int, step: int) -> None:
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        r = (chain * 2654435761 + step * 40503) & 0xFFFF
+        if r % 4 == 0:
+            eng.post(0.0, hop, chain, step + 1)
+        else:
+            eng.post((r % 97) / 8.0, hop, chain, step + 1)
+        if r % 7 == 0:
+            ev = eng.schedule((r % 13) / 4.0 + 0.5, sink)
+            if r % 14 == 0:
+                ev.cancel()
+
+    for c in range(chains):
+        eng.post(float(c), hop, c, 0)
+    eng.run()
+    return {"events": eng.events_run}, None
+
+
+# ----------------------------------------------------------------------
+# policy-driven dispatch (the repro.mc loop)
+# ----------------------------------------------------------------------
+def engine_policy(n_events: int = 8_000, chains: int = 16) -> Tuple[Counts, None]:
+    """The controllable-scheduler dispatch path under ``DefaultPolicy``.
+
+    Same deterministic hop workload as ``engine_churn`` but run through
+    ``_run_policy``: every dispatch snapshots and sorts the ready set,
+    removes the chosen entry from its lane, and notifies the policy.
+    That is the loop every ``repro.mc`` exploration schedule pays per
+    event, so regressions here multiply by the schedule count.  Fewer
+    events than ``engine_churn``: the path is O(pending) per dispatch
+    by design.
+    """
+    from repro.sim.engine import DefaultPolicy, Engine
+
+    eng = Engine()
+    eng.set_policy(DefaultPolicy())
     budget = [n_events]
 
     def sink() -> None:
@@ -171,6 +216,7 @@ def full_cell_hlrc() -> Tuple[Counts, str]:
 #: the suite, in run order
 MICROS: Dict[str, MicroFn] = {
     "engine_churn": engine_churn,
+    "engine_policy": engine_policy,
     "vc_merge": vc_merge,
     "diff_roundtrip": diff_roundtrip,
     "full_cell_sc": full_cell_sc,

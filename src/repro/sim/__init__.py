@@ -16,9 +16,18 @@ Public API:
 * :class:`~repro.sim.process.CountdownLatch` -- resolves after *n* hits
   (used to collect invalidation acknowledgements and diff acks).
 * :class:`~repro.sim.process.Signal` -- broadcast wakeup for many waiters.
+* :class:`~repro.sim.engine.SchedulerPolicy` /
+  :class:`~repro.sim.engine.DefaultPolicy` -- pluggable choice of which
+  ready event dispatches next (the model-checking hook).
 """
 
-from repro.sim.engine import Engine, ScheduledEvent, SimulationError
+from repro.sim.engine import (
+    DefaultPolicy,
+    Engine,
+    ScheduledEvent,
+    SchedulerPolicy,
+    SimulationError,
+)
 from repro.sim.process import (
     CountdownLatch,
     Future,
@@ -31,6 +40,8 @@ __all__ = [
     "Engine",
     "ScheduledEvent",
     "SimulationError",
+    "SchedulerPolicy",
+    "DefaultPolicy",
     "Process",
     "Future",
     "CountdownLatch",

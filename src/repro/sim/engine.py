@@ -34,6 +34,19 @@ CPython speed at the cost of some repetition:
   correct.)
 * :meth:`run` keeps the queues and the event counter in locals and
   writes the counter back once, in a ``finally``.
+
+Controllable scheduling
+-----------------------
+For model checking (``repro.mc``) the choice of *which* ready event
+runs next can be delegated to a :class:`SchedulerPolicy` installed via
+:meth:`Engine.set_policy`.  With a policy installed, :meth:`Engine.run`
+switches to a slower loop that snapshots the ready set
+(:meth:`Engine.ready_events`), asks the policy to choose, and dispatches
+the chosen entry wherever it sits in either lane.  Without a policy
+(the default, and every production run) the fast two-lane merge above
+is untouched, and :class:`DefaultPolicy` is written to reproduce that
+merge order exactly -- one event at a time, lowest ``(time, seq)``
+first -- so installing it changes no schedules.
 """
 
 from __future__ import annotations
@@ -94,6 +107,51 @@ class ScheduledEvent:
         return f"<ScheduledEvent t={self.time:.3f} seq={self.seq} {state} {self.fn!r}>"
 
 
+def _entry_live(entry: _Entry) -> bool:
+    """True unless the entry's cancellation handle has been flagged."""
+    ev = entry[2]
+    return ev is None or not ev.cancelled
+
+
+def _entry_key(entry: _Entry) -> Tuple[float, int]:
+    return (entry[0], entry[1])
+
+
+class SchedulerPolicy:
+    """Chooses which ready event the engine dispatches next.
+
+    Installed with :meth:`Engine.set_policy`; the engine then calls
+    :meth:`choose` once per dispatch with the full ready set (every
+    queued, non-cancelled entry, sorted by ``(time, seq)``) and runs
+    the returned entry.  ``choose`` must return one of the entries it
+    was given.  After the callback has run, :meth:`executed` is called
+    with the same entry -- the window between the two calls brackets
+    everything the event did (new events it scheduled carry sequence
+    numbers from the :attr:`Engine.next_seq` watermarks around the
+    dispatch), which is what replay-based exploration builds on.
+    """
+
+    def choose(self, ready: "list[_Entry]") -> _Entry:
+        raise NotImplementedError
+
+    def executed(self, entry: _Entry) -> None:
+        """Called after the chosen entry's callback has returned."""
+
+
+class DefaultPolicy(SchedulerPolicy):
+    """Reproduces the engine's native order: lowest ``(time, seq)``.
+
+    ``ready_events`` is sorted, sequence numbers are unique, and the
+    two-lane merge in the policy-free loop also always dispatches the
+    globally lowest ``(time, seq)`` entry -- so runs under this policy
+    are bit-identical to runs with no policy at all (the fingerprint
+    matrix in ``tests/test_mc.py`` pins this).
+    """
+
+    def choose(self, ready: "list[_Entry]") -> _Entry:
+        return ready[0]
+
+
 class Engine:
     """Deterministic discrete-event loop with time in microseconds."""
 
@@ -105,6 +163,7 @@ class Engine:
         self._max_events = max_events
         self._events_run = 0
         self._running = False
+        self._policy: Optional[SchedulerPolicy] = None
 
     # ------------------------------------------------------------------
     # time
@@ -118,6 +177,45 @@ class Engine:
     def events_run(self) -> int:
         """Total number of callbacks executed so far (for diagnostics)."""
         return self._events_run
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next scheduled event will receive.
+
+        Sequence assignment is deterministic given identical dispatch
+        choices, so the watermark before/after a dispatch identifies
+        exactly the events that dispatch created -- the mc scheduler
+        uses this to track event parentage across replays.
+        """
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # controllable scheduling (model checking)
+    # ------------------------------------------------------------------
+    def set_policy(self, policy: Optional[SchedulerPolicy]) -> None:
+        """Install (or, with ``None``, remove) a scheduling policy.
+
+        Not legal while :meth:`run` is executing.
+        """
+        if self._running:
+            raise SimulationError("cannot change policy while running")
+        self._policy = policy
+
+    @property
+    def policy(self) -> Optional[SchedulerPolicy]:
+        return self._policy
+
+    def ready_events(self) -> "list[_Entry]":
+        """Snapshot of queued, non-cancelled entries, sorted by (time, seq).
+
+        The returned list is fresh; mutating it does not affect the
+        engine.  The entries themselves are the engine's live tuples --
+        a :class:`SchedulerPolicy` hands one back from ``choose``.
+        """
+        entries = [e for e in self._fifo if _entry_live(e)]
+        entries.extend(e for e in self._queue if _entry_live(e))
+        entries.sort(key=_entry_key)
+        return entries
 
     # ------------------------------------------------------------------
     # scheduling
@@ -221,6 +319,8 @@ class Engine:
         global _ACTIVE
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
+        if self._policy is not None:
+            return self._run_policy(until)
         self._running = True
         prev_active = _ACTIVE
         _ACTIVE = self
@@ -288,8 +388,68 @@ class Engine:
             self._events_run = events_run
             self._running = False
 
+    def _remove_entry(self, entry: _Entry) -> None:
+        """Remove one live entry from whichever lane holds it.
+
+        Sequence numbers are unique, so tuple comparison in ``remove``
+        short-circuits at element 1 for every non-matching entry and
+        finds the match by identity -- event args are never compared.
+        """
+        try:
+            self._fifo.remove(entry)
+        except ValueError:
+            self._queue.remove(entry)
+            heapq.heapify(self._queue)
+
+    def _run_policy(self, until: Optional[float]) -> float:
+        """The policy-driven event loop (see :class:`SchedulerPolicy`).
+
+        Deliberately not the fast path: it re-snapshots and re-sorts
+        the ready set every dispatch so a policy sees all of its
+        options.  Time is set to the chosen entry's timestamp but never
+        moved backwards -- a policy that reorders events across
+        timestamps keeps the clock monotonic.
+        """
+        global _ACTIVE
+        self._running = True
+        prev_active = _ACTIVE
+        _ACTIVE = self
+        policy = self._policy
+        try:
+            while True:
+                ready = self.ready_events()
+                if not ready:
+                    break
+                entry = policy.choose(ready)
+                if until is not None and entry[0] > until:
+                    self._now = until
+                    return until
+                self._remove_entry(entry)
+                if entry[0] > self._now:
+                    self._now = entry[0]
+                self._events_run += 1
+                if self._events_run > self._max_events:
+                    raise SimulationError(
+                        f"event budget exhausted ({self._max_events} events); "
+                        "likely protocol livelock"
+                    )
+                entry[3](*entry[4])
+                policy.executed(entry)
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            _ACTIVE = prev_active
+            self._running = False
+
     def step(self) -> bool:
-        """Run a single event.  Returns False when the queue is empty."""
+        """Run a single event in native (time, seq) order.
+
+        Returns False when the queue is empty (the call is then a
+        no-op: time does not advance and nothing is consumed).
+        Installed policies are not consulted -- ``step`` is a debugging
+        aid for walking the native schedule.
+        """
         queue = self._queue
         fifo = self._fifo
         while queue or fifo:
@@ -308,8 +468,21 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return len(self._queue) + len(self._fifo)
+        """Number of queued events that will actually run.
+
+        Cancellation is lazy (flagged entries stay in the lanes until
+        popped), so this walks both lanes and skips tombstones rather
+        than reporting raw lane lengths.  O(pending); diagnostics and
+        the mc ready-set precondition, not the hot path.
+        """
+        n = 0
+        for e in self._fifo:
+            if _entry_live(e):
+                n += 1
+        for e in self._queue:
+            if _entry_live(e):
+                n += 1
+        return n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine t={self._now:.3f}us pending={self.pending}>"

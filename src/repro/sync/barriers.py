@@ -119,7 +119,10 @@ class BarrierService:
         # broadcast.  The merge cost scales with total notices.
         del self._episodes[key]
         payloads = self.m.protocol.barrier_payloads(ep.arrivals)
-        for nid, fut in ep.futures.items():
+        # Insertion order == arrival order, which is deterministic and
+        # is the order the protocol's payloads were costed for; sorting
+        # by nid would silently reshuffle long-established schedules.
+        for nid, fut in ep.futures.items():  # noqa: SIM006
             payload, n_notices = payloads[nid]
             rel = Message(
                 src=node.id,

@@ -1,0 +1,281 @@
+"""repro.mc: controllable scheduler, DPOR exploration, litmus suite."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cluster.machine import Machine
+from repro.harness.experiment import RunConfig, run_experiment
+from repro.mc import (
+    LITMUS,
+    Explorer,
+    ReplayDivergence,
+    TraceBudgetExceeded,
+    get_litmus,
+    litmus_names,
+    model_of,
+    replay,
+)
+from repro.sim import DefaultPolicy
+
+
+def _stats_sha(result):
+    return hashlib.sha256(
+        json.dumps(result.stats.to_dict(), sort_keys=True).encode()
+    ).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the controllable scheduler does not perturb production runs
+# ---------------------------------------------------------------------------
+
+def test_default_policy_fingerprint_matrix():
+    """48 cells: DefaultPolicy runs must be bit-identical to native runs.
+
+    The policy-driven loop re-sorts the ready set per dispatch; if its
+    merge order ever diverged from the two-lane fast path, every stats
+    fingerprint downstream would silently shift.  This is the contract
+    that makes mc exploration results transferable to production runs.
+    """
+    orig = Machine.__init__
+
+    def with_policy(self, *a, **k):
+        orig(self, *a, **k)
+        self.engine.set_policy(DefaultPolicy())
+
+    mismatches = []
+    try:
+        for app in ("lu", "ocean-rowwise"):
+            for proto in ("sc", "swlrc", "hlrc"):
+                for g in (64, 256, 1024, 4096):
+                    for mech in ("polling", "interrupt"):
+                        cfg = RunConfig(
+                            app=app, protocol=proto, granularity=g,
+                            mechanism=mech, nprocs=4, scale="tiny",
+                        )
+                        Machine.__init__ = orig
+                        native = _stats_sha(run_experiment(cfg))
+                        Machine.__init__ = with_policy
+                        policy = _stats_sha(run_experiment(cfg))
+                        if native != policy:
+                            mismatches.append(cfg.label())
+    finally:
+        Machine.__init__ = orig
+    assert mismatches == []
+
+
+# ---------------------------------------------------------------------------
+# litmus catalog
+# ---------------------------------------------------------------------------
+
+def test_litmus_catalog_is_complete():
+    assert set(litmus_names()) == {
+        "sb", "mp", "lb", "iriw", "lock-handoff", "barrier-reset",
+    }
+    for name in litmus_names():
+        lit = get_litmus(name)
+        assert lit.n_procs in (2, 4)
+        assert lit.n_vars in (1, 2)
+        assert len(lit.homes) == lit.n_vars
+
+
+def test_get_litmus_unknown_name():
+    with pytest.raises(KeyError, match="unknown litmus"):
+        get_litmus("nope")
+
+
+def test_model_of():
+    assert model_of("sc") == "sc"
+    assert model_of("swlrc") == "lrc"
+    assert model_of("hlrc") == "lrc"
+    assert model_of("swlrc-broken") == "lrc"
+
+
+def test_litmus_instantiates_per_protocol():
+    inst = LITMUS["mp"].instantiate("swlrc", granularity=64)
+    assert inst.nprocs == 2
+    assert len(inst.kwargs["addrs"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# exhaustive exploration (the acceptance cells)
+# ---------------------------------------------------------------------------
+
+def test_mp_swlrc_explores_exhaustively_and_passes():
+    """The headline cell: MP under SW-LRC, all schedules, zero findings."""
+    r = Explorer(LITMUS["mp"], "swlrc", 64, dpor=True,
+                 max_schedules=4000).run()
+    assert r.complete, "mp/swlrc must fit the schedule budget"
+    assert r.ok, r.forbidden or r.check_failures
+    # Both allowed outcomes are actually reachable, nothing else is.
+    assert set(r.outcomes) == {(0, 0), (1, 42)}
+
+
+@pytest.mark.parametrize("proto,expect_sc_violation_absent", [
+    ("sc", True),
+    ("hlrc", False),
+])
+def test_sb_exhaustive(proto, expect_sc_violation_absent):
+    r = Explorer(LITMUS["sb"], proto, 64, dpor=True,
+                 max_schedules=8000).run()
+    assert r.complete and r.ok
+    if expect_sc_violation_absent:
+        # Under SC both reads returning 0 is the classic forbidden
+        # store-buffer outcome; exhaustive search must never see it.
+        assert (0, 0) not in r.outcomes
+        assert set(r.outcomes) == {(0, 1), (1, 0), (1, 1)}
+
+
+def test_mp_sc_and_hlrc_exhaustive():
+    for proto in ("sc", "hlrc"):
+        r = Explorer(LITMUS["mp"], proto, 64, dpor=True,
+                     max_schedules=2000).run()
+        assert r.complete and r.ok, proto
+        assert set(r.outcomes) <= {(0, 0), (1, 42)}, proto
+
+
+def test_budget_capped_cell_reports_incomplete_not_failed():
+    r = Explorer(LITMUS["lock-handoff"], "swlrc", 64, dpor=True,
+                 max_schedules=40).run()
+    assert not r.complete
+    assert r.ok  # a budget cap is not a finding
+    assert r.schedules == 40
+
+
+# ---------------------------------------------------------------------------
+# DPOR vs naive DFS
+# ---------------------------------------------------------------------------
+
+def test_dpor_explores_fewer_schedules_than_naive():
+    dpor = Explorer(LITMUS["mp"], "sc", 64, dpor=True,
+                    max_schedules=1000).run()
+    naive = Explorer(LITMUS["mp"], "sc", 64, dpor=False,
+                     max_schedules=1000).run()
+    assert dpor.complete
+    assert dpor.ok and naive.ok
+    assert not naive.complete, "naive DFS should exhaust the budget"
+    assert dpor.schedules < naive.schedules
+
+
+def test_dpor_and_naive_agree_on_reachable_outcomes():
+    # On a cell small enough for both to finish, the reduction must
+    # not lose outcomes (soundness of the persistent/sleep sets).
+    dpor = Explorer(LITMUS["mp"], "sc", 64, dpor=True,
+                    max_schedules=20000).run()
+    naive = Explorer(LITMUS["mp"], "sc", 64, dpor=False,
+                     max_schedules=20000).run()
+    assert dpor.complete and naive.complete
+    assert set(dpor.outcomes) == set(naive.outcomes)
+
+
+# ---------------------------------------------------------------------------
+# the planted bug is caught, with a replayable counterexample
+# ---------------------------------------------------------------------------
+
+def test_broken_swlrc_caught_with_replayable_counterexample():
+    r = Explorer(LITMUS["lock-handoff"], "swlrc-broken", 64, dpor=True,
+                 max_schedules=50).run()
+    assert not r.ok
+    assert r.forbidden, "dropping a write notice must surface as a " \
+                        "forbidden outcome"
+    cx = r.counterexample
+    assert cx is not None
+    assert cx.protocol == "swlrc-broken"
+    assert "forbidden outcome" in cx.reason
+    # The trace is a readable event schedule...
+    assert "rank" in cx.trace_text and "lock_" in cx.trace_text
+    # ...and the recorded schedule replays to the same bad outcome.
+    trace, outcome, report, error = replay(
+        LITMUS["lock-handoff"], "swlrc-broken", 64, cx.schedule,
+    )
+    assert error is None
+    assert outcome == cx.outcome
+    assert len(trace) == len(cx.schedule)
+
+
+def test_unbroken_swlrc_passes_where_broken_fails():
+    r = Explorer(LITMUS["lock-handoff"], "swlrc", 64, dpor=True,
+                 max_schedules=50).run()
+    assert r.ok
+
+
+# ---------------------------------------------------------------------------
+# replay machinery
+# ---------------------------------------------------------------------------
+
+def test_replay_is_deterministic():
+    r = Explorer(LITMUS["mp"], "sc", 64, dpor=True, max_schedules=500).run()
+    assert r.complete
+    # Replaying the free-run (empty prefix) twice gives identical traces.
+    t1, o1, rep1, e1 = replay(LITMUS["mp"], "sc", 64, [])
+    t2, o2, rep2, e2 = replay(LITMUS["mp"], "sc", 64, [])
+    assert e1 is None and e2 is None
+    assert o1 == o2
+    assert [(s.seq, s.time, s.label) for s in t1] == \
+           [(s.seq, s.time, s.label) for s in t2]
+
+
+def test_replay_divergence_detected():
+    with pytest.raises(ReplayDivergence):
+        replay(LITMUS["mp"], "sc", 64, [999_999])
+
+
+def test_trace_budget_enforced():
+    with pytest.raises(TraceBudgetExceeded):
+        replay(LITMUS["mp"], "sc", 64, [], max_steps=5)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_mc_passing_cell(capsys):
+    from repro.harness.cli import main
+
+    rc = main(["mc", "--litmus", "mp", "--protocol", "sc",
+               "--max-schedules", "300"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "mp" in out and "ok" in out
+
+
+def test_cli_mc_failing_cell(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    ev = tmp_path / "events.jsonl"
+    js = tmp_path / "mc.json"
+    rc = main(["mc", "--litmus", "lock-handoff",
+               "--protocol", "swlrc-broken",
+               "--max-schedules", "30",
+               "--events", str(ev), "--json", str(js)])
+    assert rc == 1
+    types = [json.loads(line)["type"] for line in ev.read_text().splitlines()]
+    assert types == ["mc_cell", "mc_counterexample"]
+    doc = json.loads(js.read_text())
+    assert doc["results"][0]["ok"] is False
+
+
+def test_cli_mc_unknown_litmus(capsys):
+    from repro.harness.cli import main
+
+    assert main(["mc", "--litmus", "nope"]) == 2
+
+
+def test_broken_protocol_registration_is_mc_scoped():
+    import subprocess
+    import sys
+
+    # Importing repro.mc (done above) registers the canary protocol...
+    from repro.core.protocol import PROTOCOLS
+
+    assert "swlrc-broken" in PROTOCOLS
+    # ...but a process that never imports repro.mc must not see it:
+    # the production experiment matrix can't pick it up by accident.
+    out = subprocess.run(
+        [sys.executable, "-c",
+         "import repro.harness.cli; import repro.core.protocol as p; "
+         "print('swlrc-broken' in p.PROTOCOLS)"],
+        capture_output=True, text=True, check=True,
+    )
+    assert out.stdout.strip() == "False"

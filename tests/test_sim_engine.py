@@ -241,3 +241,174 @@ def test_determinism_two_identical_runs():
         return order
 
     assert build() == build()
+
+
+# ---------------------------------------------------------------------------
+# pending vs lazily-cancelled entries
+# ---------------------------------------------------------------------------
+
+def test_pending_ignores_cancelled_heap_entries():
+    eng = Engine()
+    eng.schedule(2.0, lambda: None)
+    doomed = [eng.schedule(1.0, lambda: None) for _ in range(3)]
+    for ev in doomed:
+        ev.cancel()
+    # The heap still physically holds the cancelled entries (lazy
+    # cancellation), but pending must not count them.
+    assert eng.pending == 1
+
+
+def test_pending_ignores_cancelled_fifo_entries():
+    eng = Engine()
+    hits = []
+
+    def first():
+        a = eng.schedule(0.0, hits.append, "a")
+        eng.schedule(0.0, hits.append, "b")
+        a.cancel()
+        assert eng.pending == 1
+
+    eng.schedule(0.0, first)
+    eng.run()
+    assert hits == ["b"]
+
+
+# ---------------------------------------------------------------------------
+# interrupt between runs / step at an empty heap
+# ---------------------------------------------------------------------------
+
+class _Boom(Exception):
+    pass
+
+
+def test_interrupt_while_idle_raises_on_next_run():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    # The loop is idle: the poison entry must park until the next run()
+    # and fire before any real event.
+    eng.interrupt(_Boom("later"))
+    hits = []
+    eng.schedule(1.0, hits.append, 1)
+    with pytest.raises(_Boom):
+        eng.run()
+    assert hits == []
+    # The engine survives: the parked event is still there and a fresh
+    # run() completes it.
+    eng.run()
+    assert hits == [1]
+
+
+def test_interrupt_while_idle_precedes_same_instant_events():
+    eng = Engine()
+    eng.interrupt(_Boom("first"))
+    eng.schedule(0.0, lambda: None)
+    with pytest.raises(_Boom):
+        eng.run()
+
+
+def test_step_at_empty_heap_is_noop():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    before = (eng.now, eng.events_run, eng.pending)
+    assert eng.step() is False
+    assert (eng.now, eng.events_run, eng.pending) == before
+
+
+def test_step_skips_cancelled_entries_and_reports_empty():
+    eng = Engine()
+    ev = eng.schedule(1.0, lambda: None)
+    ev.cancel()
+    assert eng.step() is False
+    assert eng.now == 0.0
+
+
+# ---------------------------------------------------------------------------
+# scheduler policies
+# ---------------------------------------------------------------------------
+
+from repro.sim import DefaultPolicy, SchedulerPolicy  # noqa: E402
+
+
+def _scripted_run(policy):
+    eng = Engine()
+    if policy is not None:
+        eng.set_policy(policy)
+    order = []
+    for i in range(50):
+        eng.schedule((i * 7919) % 13 * 0.5, order.append, i)
+    final = eng.run()
+    return order, final, eng.events_run
+
+
+def test_default_policy_matches_native_order():
+    assert _scripted_run(None) == _scripted_run(DefaultPolicy())
+
+
+def test_policy_can_reorder_same_instant_events():
+    class LastFirst(SchedulerPolicy):
+        def choose(self, ready):
+            return ready[-1]
+
+    eng = Engine()
+    eng.set_policy(LastFirst())
+    order = []
+    for i in range(4):
+        eng.schedule(1.0, order.append, i)
+    eng.run()
+    assert order == [3, 2, 1, 0]
+    assert eng.now == 1.0
+
+
+def test_policy_executed_sees_every_dispatch():
+    class Recorder(DefaultPolicy):
+        def __init__(self):
+            self.seen = []
+
+        def executed(self, entry):
+            self.seen.append(entry[1])
+
+    rec = Recorder()
+    eng = Engine()
+    eng.set_policy(rec)
+    for i in range(3):
+        eng.schedule(float(i), lambda: None)
+    eng.run()
+    assert rec.seen == sorted(rec.seen)
+    assert len(rec.seen) == 3
+
+
+def test_ready_events_excludes_cancelled_and_sorts():
+    eng = Engine()
+    eng.schedule(2.0, lambda: None)
+    ev = eng.schedule(1.0, lambda: None)
+    eng.schedule(3.0, lambda: None)
+    ev.cancel()
+    ready = eng.ready_events()
+    assert [e[0] for e in ready] == [2.0, 3.0]
+    assert ready == sorted(ready, key=lambda e: (e[0], e[1]))
+
+
+def test_set_policy_while_running_rejected():
+    eng = Engine()
+
+    def inner():
+        with pytest.raises(SimulationError):
+            eng.set_policy(DefaultPolicy())
+
+    eng.schedule(0.0, inner)
+    eng.run()
+
+
+def test_policy_run_until_stops_early():
+    eng = Engine()
+    eng.set_policy(DefaultPolicy())
+    hits = []
+    eng.schedule(1.0, hits.append, 1)
+    eng.schedule(5.0, hits.append, 2)
+    assert eng.run(until=2.0) == 2.0
+    assert hits == [1]
+    assert eng.pending == 1
+    eng.run()
+    assert hits == [1, 2]

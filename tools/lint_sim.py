@@ -31,6 +31,20 @@ deterministic and the protocol engine sound:
   ``sim/engine.py``.  The engine's public surface (``now``,
   ``schedule``, ``run``...) is the contract; reaching into its state
   breaks when the event-loop internals change.
+* **SIM006** -- iterating over an unordered collection where the order
+  can feed event scheduling.  Flagged unconditionally for ``set`` /
+  ``frozenset`` values (literals, comprehensions, ``set()`` calls,
+  attributes assigned or annotated as sets, and entries of
+  ``Dict[..., Set[...]]`` attributes): set order is a function of hash
+  seeding and insertion history, so two code paths that build the same
+  logical set can schedule events in different orders -- which breaks
+  replay-based exploration (``repro.mc``) and golden-stats runs.
+  ``dict.values()/.items()/.keys()`` views are insertion-ordered and
+  only flagged when the loop body sends messages or schedules events
+  directly: the order is then a hidden dependency on arrival history.
+  The fix is an explicit order (``sorted(...)``); iteration wrapped in
+  ``sorted()`` or consumed by order-insensitive reducers
+  (``sum``/``len``/``min``/``max``/``any``/``all``/``set``) is exempt.
 
 Suppress a finding with ``# noqa`` or ``# noqa: SIM00x`` on the line.
 
@@ -50,7 +64,7 @@ from typing import List, Optional, Tuple
 SIM_PACKAGES = (
     "repro/sim", "repro/core", "repro/runtime", "repro/sync",
     "repro/cluster", "repro/memory", "repro/net", "repro/apps",
-    "repro/stats", "repro/check",
+    "repro/stats", "repro/check", "repro/mc",
 )
 
 #: wall-clock reads (module attr -> function names)
@@ -62,6 +76,17 @@ WALL_CLOCK = {
 
 #: seeded-generator constructors: fine *with* a seed argument
 SEEDED_CTORS = {"Random", "default_rng", "RandomState"}
+
+#: SIM006: annotations that mean "this is a set"
+SET_ANN = {"Set", "FrozenSet", "MutableSet", "set", "frozenset"}
+#: SIM006: annotations that mean "this is a dict"
+DICT_ANN = {"Dict", "DefaultDict", "dict", "defaultdict"}
+#: SIM006: consuming calls for which iteration order cannot matter
+ORDER_FREE = {"sum", "len", "min", "max", "any", "all", "set",
+              "frozenset", "sorted"}
+#: SIM006: calls in a loop body that mean "this loop schedules events"
+SCHEDULING_CALLS = {"send", "schedule", "call_soon", "post",
+                    "send_message", "deliver", "broadcast"}
 
 
 class Finding:
@@ -94,6 +119,92 @@ def _contains_yield(fn: ast.FunctionDef) -> bool:
     return False
 
 
+def _ann_head(node: ast.AST) -> Optional[str]:
+    """Head name of an annotation: ``Dict[int, Set[int]]`` -> 'Dict'."""
+    if isinstance(node, ast.Subscript):
+        return _ann_head(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _ann_value_is_set(node: ast.AST) -> bool:
+    """True for ``Dict[..., Set[...]]``-shaped annotations."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    sl = node.slice
+    return (
+        isinstance(sl, ast.Tuple)
+        and len(sl.elts) == 2
+        and _ann_head(sl.elts[1]) in SET_ANN
+    )
+
+
+def _is_set_value(node: ast.AST) -> bool:
+    """An expression that definitely builds a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _dictview_call(node: ast.AST) -> Optional[str]:
+    """'values'/'items'/'keys' when node is that zero-arg method call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("values", "items", "keys")
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.attr
+    return None
+
+
+def _body_scheduling_call(body: List[ast.AST]) -> Optional[str]:
+    """Name of the first event-scheduling call in a loop body, if any."""
+    for st in body:
+        for sub in ast.walk(st):
+            if isinstance(sub, ast.Call) and isinstance(
+                sub.func, ast.Attribute
+            ) and sub.func.attr in SCHEDULING_CALLS:
+                return sub.func.attr
+    return None
+
+
+def _class_set_attrs(node: ast.ClassDef) -> Tuple[set, set]:
+    """Attribute names assigned/annotated as sets, and as dicts-of-sets."""
+    set_attrs: set = set()
+    dictset_attrs: set = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+            tgt, val, ann = sub.targets[0], sub.value, None
+        elif isinstance(sub, ast.AnnAssign):
+            tgt, val, ann = sub.target, sub.value, sub.annotation
+        else:
+            continue
+        if not (
+            isinstance(tgt, ast.Attribute)
+            and isinstance(tgt.value, ast.Name)
+            and tgt.value.id == "self"
+        ):
+            continue
+        if ann is not None:
+            head = _ann_head(ann)
+            if head in SET_ANN:
+                set_attrs.add(tgt.attr)
+            elif head in DICT_ANN and _ann_value_is_set(ann):
+                dictset_attrs.add(tgt.attr)
+        if val is not None and _is_set_value(val):
+            set_attrs.add(tgt.attr)
+    return set_attrs, dictset_attrs
+
+
 def _is_abstract_stub(fn: ast.FunctionDef) -> bool:
     """A body that only raises (after an optional docstring)."""
     body = fn.body
@@ -110,8 +221,11 @@ class _Linter(ast.NodeVisitor):
         self.in_sim = in_sim
         self.is_engine = is_engine
         self.findings: List[Finding] = []
-        #: (class node, {method name: def node}) stack
-        self._class_stack: List[Tuple[ast.ClassDef, dict]] = []
+        #: (class node, {method name: def node}, set attrs, dict-of-set
+        #: attrs) stack
+        self._class_stack: List[Tuple[ast.ClassDef, dict, set, set]] = []
+        #: comprehensions consumed by order-insensitive reducers
+        self._order_free: set = set()
 
     def flag(self, node: ast.AST, code: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, code, message))
@@ -123,7 +237,8 @@ class _Linter(ast.NodeVisitor):
             for st in node.body
             if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef))
         }
-        self._class_stack.append((node, methods))
+        set_attrs, dictset_attrs = _class_set_attrs(node)
+        self._class_stack.append((node, methods, set_attrs, dictset_attrs))
         self.generic_visit(node)
         self._class_stack.pop()
 
@@ -169,6 +284,10 @@ class _Linter(ast.NodeVisitor):
         if name and self.in_sim:
             self._check_wall_clock(node, name)
             self._check_random(node, name)
+        if name and name.split(".")[-1] in ORDER_FREE:
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp)):
+                    self._order_free.add(id(arg))
         self.generic_visit(node)
 
     def _check_wall_clock(self, node: ast.Call, name: str) -> None:
@@ -200,6 +319,80 @@ class _Linter(ast.NodeVisitor):
             f"module-level {name}() shares unseeded global state; "
             "use a seeded generator",
         )
+
+    # -- SIM006: unordered iteration -----------------------------------
+    def _attr_kind(self, node: ast.AST) -> Optional[str]:
+        """'set'/'dictset' when node is a known self attribute."""
+        if not (
+            self._class_stack
+            and isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return None
+        _, _, set_attrs, dictset_attrs = self._class_stack[-1]
+        if node.attr in set_attrs:
+            return "set"
+        if node.attr in dictset_attrs:
+            return "dictset"
+        return None
+
+    def _set_iter_reason(self, it: ast.AST) -> Optional[str]:
+        """Why iterating `it` has no defined order, or None."""
+        if _is_set_value(it):
+            return "a set expression"
+        if isinstance(it, ast.Call) and isinstance(it.func, ast.Attribute):
+            if it.func.attr == "get" and self._attr_kind(
+                it.func.value
+            ) == "dictset":
+                return f"set-valued entry of self.{it.func.value.attr}"
+            return None
+        if isinstance(it, ast.Subscript) and self._attr_kind(
+            it.value
+        ) == "dictset":
+            return f"set-valued entry of self.{it.value.attr}"
+        if self._attr_kind(it) == "set":
+            return f"set attribute self.{it.attr}"
+        return None
+
+    def _check_unordered_iter(
+        self, it: ast.AST, body: List[ast.AST], where: ast.AST
+    ) -> None:
+        if not self.in_sim:
+            return
+        reason = self._set_iter_reason(it)
+        if reason is not None:
+            self.flag(
+                where, "SIM006",
+                f"iteration over {reason}; set order depends on hashes "
+                "and insertion history -- iterate sorted(...)",
+            )
+            return
+        view = _dictview_call(it)
+        if view is not None and body:
+            call = _body_scheduling_call(body)
+            if call is not None:
+                self.flag(
+                    where, "SIM006",
+                    f"loop over .{view}() calls {call}(); event order "
+                    "then depends on dict insertion history -- iterate "
+                    "a sorted view",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter, node.body, node)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def _visit_comp(self, node) -> None:
+        if id(node) not in self._order_free:
+            for gen in node.generators:
+                self._check_unordered_iter(gen.iter, [node.elt], node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
 
     # -- SIM005: engine privates ---------------------------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:
