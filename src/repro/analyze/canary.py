@@ -1,0 +1,63 @@
+"""The planted mislabeled app the CI gate must fail on.
+
+A gate that only ever passes is indistinguishable from a gate that
+checks nothing, so CI also analyzes this deliberately broken stencil
+and asserts the analyzer exits non-zero naming **both** access sites.
+
+The bug is the classic forgotten phase barrier: each iteration every
+rank reads its left neighbor's boundary row and then overwrites its
+own rows, but the inner ``barrier(1)`` that separates the phases was
+"forgotten", so a rank's halo read and its neighbor's row writes sit
+in the same barrier epoch with no common lock -- an unordered
+conflicting pair (ANA101) on real overlapping bytes.
+
+The app is intentionally *not* registered in the corpus registry:
+``repro-dsm analyze --canary`` (and the test suite) reach it through
+:func:`canary_analysis`.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.api import AppAnalysis, analyze_app
+from repro.apps.base import Application
+
+ROW = 64  # bytes per grid row
+
+
+class MislabeledStencil(Application):
+    """Row-partitioned Jacobi-style sweep with a missing phase barrier."""
+
+    name = "canary-stencil"
+    tiny_params = {"rows": 32, "iters": 2}
+    default_params = {"rows": 32, "iters": 2}
+    full_params = {"rows": 32, "iters": 2}
+
+    def _configure(self, rows: int = 32, iters: int = 2) -> None:
+        self.rows = rows
+        self.iters = iters
+
+    def sequential_time_us(self) -> float:
+        return float(self.rows * self.iters)
+
+    def setup(self, machine) -> None:
+        self.grid = machine.alloc(self.rows * ROW, "grid")
+
+    def program(self, dsm, rank, nprocs):
+        lo, hi = self.split(self.rows, nprocs, rank)
+        yield from dsm.barrier(0)
+        for it in range(self.iters):
+            if rank > 0:
+                # halo: the left neighbor's last row
+                yield from dsm.touch_read(self.grid.addr((lo - 1) * ROW), ROW)
+            for row in range(lo, hi):
+                yield from dsm.touch_write(
+                    self.grid.addr(row * ROW), ROW,
+                    pattern=self.pattern(it, row))
+            # BUG: the phase barrier belongs here:
+            #   yield from dsm.barrier(1)
+        yield from dsm.barrier(2)
+
+
+def canary_analysis(nprocs: int = 4) -> AppAnalysis:
+    """Analyze the planted canary; a healthy analyzer reports ANA101."""
+    return analyze_app(MislabeledStencil, nprocs=nprocs, scale="tiny")

@@ -1,0 +1,216 @@
+"""Shared AST / finding / noqa core for static passes.
+
+Both static front ends sit on this module:
+
+* ``tools/lint_sim.py`` -- the SIM00x determinism lint;
+* ``repro.analyze`` -- the ANA1xx labeling checker.
+
+They share one ``Finding`` type, one ``# noqa`` suppression syntax,
+one set of AST helpers, and one file-walking / reporting driver, so a
+suppression or a report line means the same thing in both.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "dotted",
+    "contains_yield",
+    "ann_head",
+    "is_abstract_stub",
+    "noqa_lines",
+    "filter_noqa",
+    "parse_source",
+    "walk_files",
+    "run_lint",
+    "print_findings",
+]
+
+
+class Finding:
+    """One static finding: a coded message anchored at a source line.
+
+    ``detail`` lines render indented under the headline (used by the
+    ANA rules to show both access sites, locksets, and overlapping
+    index expressions); ``extra`` is a JSON-serializable payload.
+    """
+
+    def __init__(
+        self,
+        path,
+        line: int,
+        code: str,
+        message: str,
+        detail: Optional[List[str]] = None,
+        extra: Optional[dict] = None,
+    ):
+        self.path = Path(path)
+        self.line = line
+        self.code = code
+        self.message = message
+        self.detail = detail or []
+        self.extra = extra or {}
+
+    def __str__(self) -> str:
+        head = f"{self.path}:{self.line}: {self.code} {self.message}"
+        if self.detail:
+            head += "".join(f"\n    {d}" for d in self.detail)
+        return head
+
+    def __repr__(self) -> str:
+        return f"Finding({self.code} @ {self.path}:{self.line})"
+
+    def sort_key(self) -> Tuple[str, int, str]:
+        return (str(self.path), self.line, self.code)
+
+    def to_dict(self) -> dict:
+        out = {
+            "path": str(self.path),
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = list(self.detail)
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+# -- AST helpers -------------------------------------------------------
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """'a.b.c' for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def contains_yield(fn: ast.AST) -> bool:
+    """True if the function body itself contains yield / yield from.
+
+    Nested function definitions are skipped: a nested generator does
+    not make the outer function a generator.
+    """
+    stack: List[ast.AST] = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def ann_head(node: ast.AST) -> Optional[str]:
+    """Head name of an annotation: ``Dict[int, Set[int]]`` -> 'Dict'."""
+    if isinstance(node, ast.Subscript):
+        return ann_head(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def is_abstract_stub(fn: ast.FunctionDef) -> bool:
+    """A body that only raises (after an optional docstring)."""
+    body = fn.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    return bool(body) and all(isinstance(st, ast.Raise) for st in body)
+
+
+# -- noqa suppression --------------------------------------------------
+
+
+def noqa_lines(source: str) -> Dict[int, Set[str]]:
+    """line number -> set of suppressed codes (empty set = all)."""
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(source.splitlines(), 1):
+        if "# noqa" not in line:
+            continue
+        _, _, rest = line.partition("# noqa")
+        rest = rest.strip()
+        if rest.startswith(":"):
+            out[i] = {c.strip() for c in rest[1:].split(",")}
+        else:
+            out[i] = set()
+    return out
+
+
+def filter_noqa(findings: Iterable[Finding], source: str) -> List[Finding]:
+    """Drop findings suppressed by a ``# noqa`` on their line."""
+    noqa = noqa_lines(source)
+    return [
+        f
+        for f in findings
+        if not (f.line in noqa and (not noqa[f.line] or f.code in noqa[f.line]))
+    ]
+
+
+# -- file walking / reporting driver -----------------------------------
+
+
+def parse_source(path: Path) -> Tuple[Optional[ast.AST], str, Optional[Finding]]:
+    """Parse a file; on syntax error return a code-000 finding."""
+    path = Path(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return None, source, Finding(
+            path, exc.lineno or 0, "SIM000", f"syntax error: {exc.msg}"
+        )
+    return tree, source, None
+
+
+def walk_files(args: List[str]) -> List[Path]:
+    """Expand path arguments into a sorted list of .py files."""
+    files: List[Path] = []
+    for arg in args:
+        root = Path(arg)
+        files.extend([root] if root.is_file() else sorted(root.rglob("*.py")))
+    return files
+
+
+def run_lint(
+    args: List[str],
+    lint_file: Callable[[Path], List[Finding]],
+    *,
+    label: str = "lint",
+    out=None,
+) -> int:
+    """Walk paths, collect findings, print a report; exit-code style."""
+    out = out or sys.stdout
+    files = walk_files(args)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    print_findings(findings, out=out)
+    if findings:
+        print(
+            f"{len(findings)} finding(s) in {len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{label}: {len(files)} file(s) clean", file=out)
+    return 0
+
+
+def print_findings(findings: Iterable[Finding], out=None) -> None:
+    out = out or sys.stdout
+    for f in sorted(findings, key=Finding.sort_key):
+        print(f, file=out)

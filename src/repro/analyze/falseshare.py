@@ -1,0 +1,119 @@
+"""Static false-sharing prediction.
+
+The paper's central tradeoff is coherence granularity: big blocks
+amortize protocol overhead but manufacture *false sharing* --
+processors touching disjoint bytes of the same block.  Given the
+per-rank byte-interval footprints from :mod:`repro.analyze.footprint`,
+this module folds every unordered, unprotected cross-rank access pair
+against each candidate granularity and counts the blocks the pair
+shares **without sharing a byte** -- the blocks that would ping-pong
+at that granularity even though the program is properly labeled.
+
+The accumulator is fed by the same pairwise sweep as the labeling
+checker (:func:`repro.analyze.drf.sweep`), and its gating matches the
+PR 2 dynamic detector's classification so the two are comparable in
+concordance mode: lock-ordered pairs and ``assume_disjoint``-exempt
+accesses are excluded (the detector orders the former by
+happens-before and diverts the latter to its ``exempted`` bucket
+before classifying).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analyze.footprint import IntervalSet
+
+#: the granularities the paper sweeps (64 B .. 8 KB)
+FS_GRANULARITIES = (64, 256, 1024, 4096, 8192)
+
+
+class FalseSharingAccum:
+    """Accumulates predicted false-sharing blocks per granularity."""
+
+    def __init__(self, granularities: Iterable[int] = FS_GRANULARITIES):
+        self.granularities = tuple(sorted(granularities))
+        self.blocks: Dict[int, set] = {g: set() for g in self.granularities}
+        self.pairs: Dict[int, int] = {g: 0 for g in self.granularities}
+        #: (siteA, siteB) -> blocks contributed at the largest granularity
+        self.site_pairs: Dict[int, Dict[Tuple, int]] = {
+            g: {} for g in self.granularities
+        }
+
+    def add_pair(
+        self,
+        site_a: Tuple[str, int, str],
+        iv_a: IntervalSet,
+        site_b: Tuple[str, int, str],
+        iv_b: IntervalSet,
+        byte_overlap: Optional[List[Tuple[int, int]]] = None,
+    ) -> None:
+        """One unordered, unprotected, non-exempt cross-rank pair with
+        at least one writer.  ``byte_overlap`` is the pair's byte
+        intersection (so truly-shared blocks are not misclassified as
+        false sharing)."""
+        overlap_blocks: Dict[int, frozenset] = {}
+        if byte_overlap:
+            inter = IntervalSet()
+            for lo, hi in byte_overlap:
+                inter.add(lo, hi)
+            for g in self.granularities:
+                overlap_blocks[g] = inter.blocks(g)
+        for g in self.granularities:
+            # quick reject: byte-disjoint bboxes in different blocks
+            max_lo = max(iv_a.lo, iv_b.lo)
+            min_hi = min(iv_a.hi, iv_b.hi)
+            if max_lo >= min_hi and (min_hi - 1) // g != max_lo // g:
+                continue
+            shared = (iv_a.blocks(g) & iv_b.blocks(g)) - overlap_blocks.get(
+                g, frozenset()
+            )
+            if not shared:
+                continue
+            self.blocks[g].update(shared)
+            self.pairs[g] += 1
+            key = tuple(sorted((site_a, site_b)))
+            per = self.site_pairs[g]
+            per[key] = per.get(key, 0) + len(shared)
+
+    def summary(self, top: int = 3) -> Dict[int, dict]:
+        out: Dict[int, dict] = {}
+        for g in self.granularities:
+            ranked = sorted(
+                self.site_pairs[g].items(), key=lambda kv: -kv[1]
+            )[:top]
+            out[g] = {
+                "blocks": len(self.blocks[g]),
+                "bytes": len(self.blocks[g]) * g,
+                "pairs": self.pairs[g],
+                "top_site_pairs": [
+                    {
+                        "sites": [f"{a[0]}:{a[1]}" for a in key],
+                        "blocks": n,
+                    }
+                    for key, n in ranked
+                ],
+            }
+        return out
+
+
+def merge_summaries(summaries: List[Dict[int, dict]]) -> Dict[int, dict]:
+    """Merge per-mode summaries by taking the worst (max) per cell."""
+    if not summaries:
+        return {}
+    out: Dict[int, dict] = {}
+    for g in summaries[0]:
+        best = max(summaries, key=lambda s: s.get(g, {}).get("bytes", 0))
+        out[g] = best[g]
+    return out
+
+
+def rank_cells(per_app: Dict[str, Dict[int, dict]]) -> List[dict]:
+    """Rank app x granularity cells by predicted false-sharing bytes."""
+    cells = [
+        {"app": app, "granularity": g, **stats}
+        for app, by_g in per_app.items()
+        for g, stats in by_g.items()
+    ]
+    cells.sort(key=lambda c: (-c["bytes"], c["app"], c["granularity"]))
+    return cells

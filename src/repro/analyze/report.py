@@ -1,0 +1,118 @@
+"""Rendering and event emission for analysis results.
+
+Text reports go to stdout (the CLI), JSON to ``--json`` files, and
+JSONL events to the same :class:`repro.exec.events.EventLog` sink the
+execution engine uses -- one ``analyze_app`` line per application, one
+``analyze_finding`` line per kept finding, and a closing
+``analyze_finished`` summary, so analysis runs are grep-able alongside
+sweep logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analyze.api import AppAnalysis, CorpusAnalysis
+
+
+def app_text(a: AppAnalysis) -> str:
+    """A few lines summarizing one app's analysis."""
+    lines: List[str] = []
+    segs = "+".join(str(m.n_segments) for m in a.modes)
+    modes = "+".join("lrc" if m.lrc_mode else "sc" for m in a.modes)
+    status = "ok  " if a.ok else "FAIL"
+    lines.append(
+        f"{status} {a.name:20s} modes={modes:6s} segments={segs:8s} "
+        f"lock-protected={a.lock_protected_pairs} "
+        f"exempted={a.exempted_pairs}"
+    )
+    for f in a.findings:
+        lines.extend(f"     {ln}" for ln in str(f).splitlines())
+    for f in a.suppressed:
+        lines.append(f"     suppressed: {f.path}:{f.line}: {f.code} "
+                     f"{f.message}")
+    return "\n".join(lines)
+
+
+def fs_table(c: CorpusAnalysis, top: int = 10) -> str:
+    """The predicted false-sharing ranking (app x granularity cells)."""
+    lines = ["predicted false sharing (app x granularity, worst first):"]
+    shown = 0
+    for cell in c.ranking:
+        if cell["bytes"] <= 0:
+            continue
+        lines.append(
+            f"  {cell['app']:20s} g={cell['granularity']:5d}  "
+            f"{cell['bytes']:8d} B in {cell['blocks']:4d} block(s), "
+            f"{cell['pairs']} pair(s)"
+        )
+        shown += 1
+        if shown >= top:
+            break
+    if shown == 0:
+        lines.append("  none predicted at any granularity")
+    return "\n".join(lines)
+
+
+def corpus_text(c: CorpusAnalysis, fs_top: int = 10) -> str:
+    lines = [app_text(a) for a in c.apps]
+    lines.append("")
+    lines.append(fs_table(c, top=fs_top))
+    n_findings = len(c.findings)
+    n_suppressed = sum(len(a.suppressed) for a in c.apps)
+    lines.append("")
+    if c.ok:
+        tail = f"analyze: {len(c.apps)} app(s) properly labeled"
+        if n_suppressed:
+            tail += f" ({n_suppressed} suppressed finding(s))"
+        lines.append(tail)
+    else:
+        bad = [a.name for a in c.apps if not a.ok]
+        lines.append(
+            f"analyze: {n_findings} finding(s) in {len(bad)} app(s): "
+            + ", ".join(bad)
+        )
+    return "\n".join(lines)
+
+
+def emit_events(c: CorpusAnalysis, events) -> None:
+    """Append analyze_* events for this analysis to an EventLog."""
+    for a in c.apps:
+        events.emit(
+            "analyze_app",
+            app=a.name,
+            nprocs=a.nprocs,
+            scale=a.scale,
+            modes=[m.lrc_mode for m in a.modes],
+            ok=a.ok,
+            findings=len(a.findings),
+            suppressed=len(a.suppressed),
+            lock_protected_pairs=a.lock_protected_pairs,
+            exempted_pairs=a.exempted_pairs,
+        )
+        for f in a.findings:
+            events.emit("analyze_finding", app=a.name, **f.to_dict())
+    events.emit(
+        "analyze_finished",
+        apps=len(c.apps),
+        ok=c.ok,
+        findings=len(c.findings),
+    )
+
+
+def write_json(path: str, c: CorpusAnalysis) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(c.to_dict(), fh, sort_keys=True, indent=1)
+        fh.write("\n")
+
+
+def render(c: CorpusAnalysis, *, json_path: Optional[str] = None,
+           events=None, fs_top: int = 10) -> str:
+    """Render everywhere at once; returns the text report."""
+    if json_path:
+        write_json(json_path, c)
+    if events is not None:
+        emit_events(c, events)
+    return corpus_text(c, fs_top=fs_top)

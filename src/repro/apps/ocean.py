@@ -176,24 +176,26 @@ class OceanOriginal(OceanBase):
             # relaxation at region granularity; the real red-black
             # sweeps only read the *other* colour's (element-disjoint)
             # points, so the pairs are conflict-free.
+            # Neighbour lookup and address arithmetic are plain local
+            # work; keep the exemption scope to the shared reads alone.
+            up = self.neighbor(rank, -1, 0, nprocs)
+            down = self.neighbor(rank, 1, 0, nprocs)
+            left = self.neighbor(rank, 0, -1, nprocs)
+            right = self.neighbor(rank, 0, 1, nprocs)
             with dsm.assume_disjoint("red-black half-sweeps read the other colour"):
                 # Row borders of up/down neighbours: contiguous sub-rows.
-                up = self.neighbor(rank, -1, 0, nprocs)
                 if up is not None:
                     last_row = self.subgrids[up] + (self.sub_rows - 1) * self.sub_row_bytes
                     yield from dsm.touch_read(last_row, self.sub_row_bytes)
-                down = self.neighbor(rank, 1, 0, nprocs)
                 if down is not None:
                     yield from dsm.touch_read(self.subgrids[down], self.sub_row_bytes)
                 # Column borders of left/right neighbours: ONE ELEMENT AT
                 # A TIME -- the fine-grain pattern that fragments badly at
                 # coarse granularity (>99% useless traffic at 4096 bytes).
-                left = self.neighbor(rank, 0, -1, nprocs)
                 if left is not None:
                     col = self.subgrids[left] + (self.sub_cols - 1) * ELEM
                     for row in range(self.sub_rows):
                         yield from dsm.touch_read(col + row * self.sub_row_bytes, ELEM)
-                right = self.neighbor(rank, 0, 1, nprocs)
                 if right is not None:
                     col = self.subgrids[right]
                     for row in range(self.sub_rows):

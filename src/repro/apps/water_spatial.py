@@ -122,16 +122,16 @@ class WaterSpatial(Application):
             # molecule positions; the owner's same-phase in-place update
             # writes the new-step fields -- field-disjoint in the real
             # program though the region touches overlap.
-            seen = set()
+            # Dedup is local bookkeeping; the exemption scope covers
+            # only the shared face-cell reads.
+            remote_cells = dict.fromkeys(rc for _, rc in boundary)
             with dsm.assume_disjoint(
                 "force phase reads prior-step position fields"
             ):
-                for own_c, remote_c in boundary:
-                    if remote_c not in seen:
-                        seen.add(remote_c)
-                        yield from dsm.touch_read(
-                            self.cell_addr(remote_c), self.cell_bytes
-                        )
+                for remote_c in remote_cells:
+                    yield from dsm.touch_read(
+                        self.cell_addr(remote_c), self.cell_bytes
+                    )
             yield from dsm.compute(step_cost * 0.8)
             # Update own cells in place.
             for c in owned:

@@ -35,9 +35,10 @@ _FINGERPRINT: Optional[str] = None
 _CACHEABLE_FAILURES = ("SimulationError", "TransportError")
 
 #: Sub-packages that can never change a simulation outcome: they only
-#: *measure* (perf regression harness) or *post-process* (analysis) --
+#: *measure* (perf regression harness), *post-process* (analysis), or
+#: inspect source without running it (the analyze static checker) --
 #: editing them must not invalidate the result cache.
-_FINGERPRINT_EXCLUDE_DIRS = ("perf", "analysis")
+_FINGERPRINT_EXCLUDE_DIRS = ("perf", "analysis", "analyze")
 
 #: Presentation/orchestration modules inside otherwise-semantic
 #: packages: report/table/figure renderers and the CLI read finished
@@ -73,9 +74,10 @@ def code_fingerprint() -> str:
     """SHA-256 over the *simulation-semantics* ``repro`` sources plus
     the default machine cost constants.  Memoized per process.
 
-    Scoped deliberately: measurement and presentation code
-    (``repro/perf``, ``repro/analysis``, the harness report/table/
-    figure/CLI modules -- see ``_FINGERPRINT_EXCLUDE_*``) is hashed
+    Scoped deliberately: measurement, presentation, and static-analysis
+    code (``repro/perf``, ``repro/analysis``, ``repro/analyze``, the
+    harness report/table/figure/CLI modules -- see
+    ``_FINGERPRINT_EXCLUDE_*``) is hashed
     *out*, so tuning a benchmark threshold or a table format does not
     stampede-invalidate every cached simulation result.  Everything
     that can influence a :class:`~repro.stats.counters.Stats` -- apps,

@@ -18,6 +18,11 @@ Subcommands:
 * ``perf`` -- run the simulator-core perf suite (:mod:`repro.perf`);
   with ``--against BENCH_simcore.json``, exit 2 on a >15% calibrated
   median regression or a determinism break.
+* ``analyze`` -- static labeling/DRF verification of the app corpus
+  (:mod:`repro.analyze`): CFG + lockset/barrier-phase dataflow over a
+  small-scope exploration, false-sharing prediction per granularity,
+  and (``--concordance``) a cross-tab against the dynamic checkers;
+  exit 1 on any unsuppressed finding.
 * ``mc`` -- exhaustive small-scope model checking (:mod:`repro.mc`):
   enumerate event interleavings of tiny litmus programs under a
   controllable scheduler (with dynamic partial-order reduction) and
@@ -251,6 +256,63 @@ def cmd_check(args) -> int:
         return 1
     print("all cells clean")
     return 0
+
+
+def cmd_analyze(args) -> int:
+    """Static labeling / DRF verification; exit 1 on findings."""
+    from repro.analyze.api import analyze_corpus
+    from repro.analyze.report import render
+    from repro.exec import EventLog
+
+    events = EventLog(args.events) if args.events else None
+    try:
+        if args.canary:
+            from repro.analyze.api import CorpusAnalysis
+            from repro.analyze.canary import canary_analysis
+
+            corpus = CorpusAnalysis(apps=[canary_analysis(args.nprocs)])
+        else:
+            apps = args.apps.split(",") if args.apps else None
+            grans = ([int(g) for g in args.granularities.split(",")]
+                     if args.granularities else None)
+            kwargs = {"nprocs": args.nprocs, "scale": args.scale}
+            if grans:
+                kwargs["granularities"] = grans
+            corpus = analyze_corpus(apps, **kwargs)
+        print(render(corpus, json_path=args.json, events=events,
+                     fs_top=args.fs_top))
+
+        if args.concordance:
+            import json as _json
+
+            from repro.analyze.concordance import run_concordance
+
+            conc = run_concordance(
+                args.apps.split(",") if args.apps else None,
+                protocols=(args.protocol.split(",")
+                           if args.protocol else ["hlrc"]),
+                granularities=[args.granularity],
+                nprocs=args.nprocs,
+                scale=args.scale,
+                progress=lambda s: print(f"  {s}", file=sys.stderr),
+            )
+            print()
+            print(conc.describe())
+            if args.concordance_json:
+                with open(args.concordance_json, "w") as fh:
+                    _json.dump(conc.to_dict(), fh, sort_keys=True, indent=1)
+                    fh.write("\n")
+                print(f"concordance written to {args.concordance_json}",
+                      file=sys.stderr)
+            if events is not None:
+                events.emit("analyze_concordance", ok=conc.ok,
+                            cells=len(conc.cells))
+            if not conc.ok:
+                return 1
+        return 0 if corpus.ok else 1
+    finally:
+        if events is not None:
+            events.close()
 
 
 def cmd_chaos(args) -> int:
@@ -498,6 +560,44 @@ def main(argv=None) -> int:
                         "or a byte count (default word)")
     _add_common(p)
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static labeling/DRF verification and false-sharing "
+             "prediction (exit 1 on findings)",
+    )
+    p.add_argument("--apps", default=None,
+                   help="comma-separated app subset (default: all 12)")
+    p.add_argument("--nprocs", type=int, default=4,
+                   help="ranks for the small-scope exploration (default 4)")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "default", "full"],
+                   help="problem scale to explore (default tiny)")
+    p.add_argument("--granularities", default=None,
+                   help="comma-separated coherence granularities for the "
+                        "false-sharing prediction (default 64..8192)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="write the full analysis as JSON to FILE")
+    p.add_argument("--events", default=None, metavar="FILE",
+                   help="append analyze_* events to the JSONL log FILE")
+    p.add_argument("--fs-top", type=int, default=10,
+                   help="rows in the false-sharing ranking (default 10)")
+    p.add_argument("--canary", action="store_true",
+                   help="analyze the planted mislabeled canary app instead "
+                        "of the corpus (must exit 1 -- used by CI to prove "
+                        "the gate can fail)")
+    p.add_argument("--concordance", action="store_true",
+                   help="also run the dynamic checkers per cell and "
+                        "cross-tabulate static vs dynamic findings")
+    p.add_argument("--protocol", default="hlrc",
+                   help="comma-separated protocols for --concordance "
+                        "(default hlrc)")
+    p.add_argument("--granularity", type=int, default=1024,
+                   help="coherence granularity for --concordance cells "
+                        "(default 1024)")
+    p.add_argument("--concordance-json", default=None, metavar="FILE",
+                   help="write the concordance cross-tab as JSON to FILE")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
         "chaos",

@@ -473,6 +473,42 @@ class P:
         f.write_text("import time\n\nT = time.monotonic()\n")
         assert lint.lint_file(f) == []
 
+    DROPPED = '''\
+class App:
+    def helper(self, dsm):
+        yield from dsm.read(0, 4)
+
+    def plain(self, dsm):
+        return 7
+
+    def program(self, dsm, rank, nprocs):
+        self.helper(dsm)
+        dsm.touch_write(0, 8)
+        def local_gen():
+            yield from dsm.barrier(0)
+        local_gen()
+        yield from self.helper(dsm)
+        g = self.helper(dsm)
+        self.plain(dsm)
+        dsm.read(0, 4)  # noqa: SIM007
+'''
+
+    def test_lint_flags_dropped_generators(self, tmp_path):
+        lint = _load_lint()
+        f = tmp_path / "dropped.py"
+        f.write_text(self.DROPPED)
+        findings = lint.lint_file(f)
+        assert [x.code for x in findings] == ["SIM007"] * 3
+        text = self.DROPPED.splitlines()
+        flagged = {x.line for x in findings}
+        assert flagged == {
+            next(i for i, l in enumerate(text, 1) if l.strip() == "self.helper(dsm)"),
+            next(i for i, l in enumerate(text, 1) if "dsm.touch_write" in l),
+            next(i for i, l in enumerate(text, 1) if l.strip() == "local_gen()"),
+        }
+        # driven, assigned, non-generator, and noqa'd calls stay clean
+        assert all("yield from" not in text[x.line - 1] for x in findings)
+
     def test_source_tree_is_clean(self):
         lint = _load_lint()
         root = Path(__file__).resolve().parent.parent

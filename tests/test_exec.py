@@ -271,9 +271,11 @@ class TestFingerprintScoping:
         assert _fingerprint_relevant("harness/experiment.py")
         assert _fingerprint_relevant("harness/matrix.py")
         assert _fingerprint_relevant("exec/serialize.py")
-        # measurement/presentation: out
+        # measurement/presentation/static analysis: out
         assert not _fingerprint_relevant("perf/micros.py")
         assert not _fingerprint_relevant("analysis/sensitivity.py")
+        assert not _fingerprint_relevant("analyze/drf.py")
+        assert not _fingerprint_relevant("analyze/cfg.py")
         assert not _fingerprint_relevant("harness/report.py")
         assert not _fingerprint_relevant("harness/tables.py")
         assert not _fingerprint_relevant("harness/figures.py")
@@ -293,6 +295,10 @@ class TestFingerprintScoping:
         # Editing the perf suite leaves every cache key stable ...
         micros = tree / "perf" / "micros.py"
         micros.write_text(micros.read_text() + "\n# tuned threshold\n")
+        assert _fingerprint_tree(tree) == before
+        # ... as does editing the static analyzer ...
+        drf = tree / "analyze" / "drf.py"
+        drf.write_text(drf.read_text() + "\n# new ANA rule\n")
         assert _fingerprint_tree(tree) == before
         # ... while touching a protocol invalidates everything.
         hlrc = tree / "core" / "hlrc.py"

@@ -9,8 +9,8 @@ deterministic and the protocol engine sound:
   ``perf_counter``, ``datetime.now``/``utcnow``) inside simulation
   packages.  Simulated code must read ``engine.now``; wall-clock reads
   make runs host-dependent.  Host-side packages (``exec``, ``harness``,
-  ``analysis``) are exempt -- timeouts and progress reporting are
-  their job.
+  ``analysis``, ``analyze``) are exempt -- timeouts and progress
+  reporting are their job.
 * **SIM002** -- unseeded randomness (module-level ``random.*`` /
   ``numpy.random.*`` calls, or ``random.Random()`` /
   ``default_rng()`` / ``RandomState()`` without a seed argument)
@@ -45,6 +45,18 @@ deterministic and the protocol engine sound:
   The fix is an explicit order (``sorted(...)``); iteration wrapped in
   ``sorted()`` or consumed by order-insensitive reducers
   (``sum``/``len``/``min``/``max``/``any``/``all``/``set``) is exempt.
+* **SIM007** -- calling a generator-returning helper as a bare
+  statement, without ``yield from``: ``self.NAME(...)`` where ``NAME``
+  is a generator method, a bare call to a local generator function, or
+  a discarded ``dsm.<op>(...)`` from the app/runtime API.  The call
+  builds a generator and throws it away, so every simulated effect
+  inside it (accesses, waits, protocol traffic) silently never
+  happens.  This is the same bug class the ``repro.analyze`` CFG
+  builder models: a dropped generator contributes no footprint.
+
+The AST/visitor/noqa/reporting core is shared with the static labeling
+checker in ``repro.analyze`` (see ``repro/analyze/core.py``); both
+tools use the same ``Finding`` type and ``# noqa`` syntax.
 
 Suppress a finding with ``# noqa`` or ``# noqa: SIM00x`` on the line.
 
@@ -58,6 +70,30 @@ import ast
 import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
+
+try:
+    from repro.analyze.core import (
+        Finding,
+        contains_yield,
+        dotted,
+        filter_noqa,
+        is_abstract_stub,
+        parse_source,
+        run_lint,
+    )
+    from repro.analyze.core import ann_head as _ann_head
+except ImportError:  # running as a script without the package installed
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analyze.core import (
+        Finding,
+        contains_yield,
+        dotted,
+        filter_noqa,
+        is_abstract_stub,
+        parse_source,
+        run_lint,
+    )
+    from repro.analyze.core import ann_head as _ann_head
 
 #: repro subpackages whose code runs *inside* the simulation -- the
 #: determinism rules (SIM001/SIM002) apply only here
@@ -88,46 +124,12 @@ ORDER_FREE = {"sum", "len", "min", "max", "any", "all", "set",
 SCHEDULING_CALLS = {"send", "schedule", "call_soon", "post",
                     "send_message", "deliver", "broadcast"}
 
-
-class Finding:
-    def __init__(self, path: Path, line: int, code: str, message: str):
-        self.path = path
-        self.line = line
-        self.code = code
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.code} {self.message}"
-
-
-def _dotted(node: ast.AST) -> Optional[str]:
-    """'a.b.c' for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _contains_yield(fn: ast.FunctionDef) -> bool:
-    for sub in ast.walk(fn):
-        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
-            return True
-    return False
-
-
-def _ann_head(node: ast.AST) -> Optional[str]:
-    """Head name of an annotation: ``Dict[int, Set[int]]`` -> 'Dict'."""
-    if isinstance(node, ast.Subscript):
-        return _ann_head(node.value)
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Name):
-        return node.id
-    return None
+#: SIM007: generator methods of the runtime Dsm API -- a bare
+#: ``dsm.<op>(...)`` statement drops the generator and its effects
+DSM_GEN_API = {
+    "read", "write", "touch_read", "touch_write", "compute",
+    "acquire", "release", "barrier",
+}
 
 
 def _ann_value_is_set(node: ast.AST) -> bool:
@@ -205,16 +207,6 @@ def _class_set_attrs(node: ast.ClassDef) -> Tuple[set, set]:
     return set_attrs, dictset_attrs
 
 
-def _is_abstract_stub(fn: ast.FunctionDef) -> bool:
-    """A body that only raises (after an optional docstring)."""
-    body = fn.body
-    if body and isinstance(body[0], ast.Expr) and isinstance(
-        body[0].value, ast.Constant
-    ):
-        body = body[1:]
-    return bool(body) and all(isinstance(st, ast.Raise) for st in body)
-
-
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: Path, in_sim: bool, is_engine: bool):
         self.path = path
@@ -224,6 +216,8 @@ class _Linter(ast.NodeVisitor):
         #: (class node, {method name: def node}, set attrs, dict-of-set
         #: attrs) stack
         self._class_stack: List[Tuple[ast.ClassDef, dict, set, set]] = []
+        #: per enclosing function: {name: local def node} (SIM007)
+        self._func_stack: List[dict] = []
         #: comprehensions consumed by order-insensitive reducers
         self._order_free: set = set()
 
@@ -243,13 +237,20 @@ class _Linter(ast.NodeVisitor):
         self._class_stack.pop()
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        if node.name.startswith("_h_") and _contains_yield(node):
+        if node.name.startswith("_h_") and contains_yield(node):
             self.flag(
                 node, "SIM004",
                 f"message handler {node.name} contains yield; handlers "
                 "are plain calls -- a generator handler never runs",
             )
+        local_defs = {
+            st.name: st
+            for st in ast.walk(node)
+            if isinstance(st, ast.FunctionDef) and st is not node
+        }
+        self._func_stack.append(local_defs)
         self.generic_visit(node)
+        self._func_stack.pop()
 
     visit_AsyncFunctionDef = visit_FunctionDef
 
@@ -267,8 +268,8 @@ class _Linter(ast.NodeVisitor):
             if (
                 target is not None
                 and isinstance(target, ast.FunctionDef)
-                and not _contains_yield(target)
-                and not _is_abstract_stub(target)
+                and not contains_yield(target)
+                and not is_abstract_stub(target)
             ):
                 self.flag(
                     node, "SIM003",
@@ -278,9 +279,67 @@ class _Linter(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # -- SIM007: generator called without yield from -------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        call = node.value
+        if isinstance(call, ast.Call):
+            self._check_dropped_generator(node, call)
+        self.generic_visit(node)
+
+    def _check_dropped_generator(self, stmt: ast.Expr, call: ast.Call) -> None:
+        """A bare-statement call that builds and discards a generator."""
+        func = call.func
+        # self.NAME(...) where NAME is a generator method of this class
+        if (
+            self._class_stack
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            target = self._class_stack[-1][1].get(func.attr)
+            if (
+                target is not None
+                and isinstance(target, ast.FunctionDef)
+                and contains_yield(target)
+            ):
+                self.flag(
+                    stmt, "SIM007",
+                    f"self.{func.attr}(...) called without yield from but "
+                    f"{func.attr} (line {target.lineno}) is a generator -- "
+                    "its simulated effects are silently dropped",
+                )
+            return
+        # dsm.<op>(...) from the runtime app API
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "dsm"
+            and func.attr in DSM_GEN_API
+        ):
+            self.flag(
+                stmt, "SIM007",
+                f"dsm.{func.attr}(...) called without yield from; the "
+                "operation's simulated effects are silently dropped",
+            )
+            return
+        # NAME(...) where NAME is a local generator function
+        if isinstance(func, ast.Name):
+            for scope in reversed(self._func_stack):
+                target = scope.get(func.id)
+                if target is not None:
+                    if contains_yield(target):
+                        self.flag(
+                            stmt, "SIM007",
+                            f"{func.id}(...) called without yield from but "
+                            f"{func.id} (line {target.lineno}) is a "
+                            "generator -- its simulated effects are "
+                            "silently dropped",
+                        )
+                    return
+
     # -- SIM001 / SIM002: calls ----------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
-        name = _dotted(node.func)
+        name = dotted(node.func)
         if name and self.in_sim:
             self._check_wall_clock(node, name)
             self._check_random(node, name)
@@ -401,7 +460,7 @@ class _Linter(ast.NodeVisitor):
             and node.attr.startswith("_")
             and not node.attr.startswith("__")
         ):
-            base = _dotted(node.value)
+            base = dotted(node.value)
             if base and base.split(".")[-1] == "engine":
                 self.flag(
                     node, "SIM005",
@@ -411,27 +470,11 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _noqa_lines(source: str) -> dict:
-    """line number -> set of suppressed codes (empty set = all)."""
-    out = {}
-    for i, line in enumerate(source.splitlines(), 1):
-        if "# noqa" not in line:
-            continue
-        _, _, rest = line.partition("# noqa")
-        rest = rest.strip()
-        if rest.startswith(":"):
-            out[i] = {c.strip() for c in rest[1:].split(",")}
-        else:
-            out[i] = set()
-    return out
-
-
 def lint_file(path: Path) -> List[Finding]:
-    source = path.read_text()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [Finding(path, exc.lineno or 0, "SIM000", f"syntax error: {exc.msg}")]
+    path = Path(path)
+    tree, source, err = parse_source(path)
+    if err is not None:
+        return [err]
     posix = path.as_posix()
     linter = _Linter(
         path,
@@ -439,30 +482,12 @@ def lint_file(path: Path) -> List[Finding]:
         is_engine=posix.endswith("repro/sim/engine.py"),
     )
     linter.visit(tree)
-    noqa = _noqa_lines(source)
-    return [
-        f for f in linter.findings
-        if not (f.line in noqa and (not noqa[f.line] or f.code in noqa[f.line]))
-    ]
+    return filter_noqa(linter.findings, source)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = (argv if argv is not None else sys.argv[1:]) or ["src/repro", "tools"]
-    findings: List[Finding] = []
-    n_files = 0
-    for arg in args:
-        root = Path(arg)
-        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
-        for f in files:
-            n_files += 1
-            findings.extend(lint_file(f))
-    for f in findings:
-        print(f)
-    if findings:
-        print(f"{len(findings)} finding(s) in {n_files} file(s)", file=sys.stderr)
-        return 1
-    print(f"lint_sim: {n_files} file(s) clean")
-    return 0
+    return run_lint(args, lint_file, label="lint_sim")
 
 
 if __name__ == "__main__":
