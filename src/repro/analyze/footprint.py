@@ -39,9 +39,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.memory.address_space import AddressSpace
+from repro.simcore import alloc_block
 
 #: files whose frames are skipped when attributing an access to app
 #: source (this module and the stdlib contextmanager plumbing)
@@ -356,7 +355,7 @@ class StaticDsm:
     def read(self, addr: int, size: int):
         self._rec.access(self.rank, _app_site(), False, addr, size)
         yield ("step",)
-        return np.zeros(size, dtype=np.uint8)
+        return alloc_block(size)
 
     def write(self, addr: int, data):
         self._rec.access(self.rank, _app_site(), True, addr, len(data))

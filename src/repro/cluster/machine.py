@@ -141,9 +141,9 @@ class Machine:
     def init_data(self, addr: int, data) -> None:
         """Write initial contents into the (current or static) home
         copies, pre-parallel-phase (no simulated cost)."""
-        import numpy as np
+        from repro.simcore import as_payload
 
-        data = np.asarray(data, dtype=np.uint8)
+        data = as_payload(data)
         bs = self.blockspace
         for block, off, roff, length in bs.block_slices(addr, len(data)):
             home = self.home.home_or_static(block)

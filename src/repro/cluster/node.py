@@ -114,23 +114,15 @@ class Node:
         else:
             delay = p.interrupt_us
         cost = msg.handle_cost_us
-        start = max(now + delay, self._handler_busy_until)
-        self._handler_busy_until = start + cost
+        done = max(now + delay, self._handler_busy_until) + cost
+        self._handler_busy_until = done
         self.node_stats.handler_us += cost
         if computing:
             # Steal cycles from the in-progress compute segment.
             self.cpu.debt += cost
         # The handler's effects become visible when it finishes; the
         # dispatch callback is scheduled directly (no wrapper frame).
-        self.engine.post(start + cost - now, self._handle_message, self, msg)
-
-    def _notification_delay(self) -> float:
-        p = self.params
-        if self.cpu.state != COMPUTE:
-            return p.blocked_poll_us
-        if self._polling:
-            return p.poll_backedge_gap_us + p.poll_round_trip_us
-        return p.interrupt_us
+        self.engine.post(done - now, self._handle_message, self, msg)
 
     # ------------------------------------------------------------------
     # application-side effects (generators run inside the app process)

@@ -8,16 +8,18 @@ disjoint words compose; overlapping concurrent writes are a data race
 the programming model excludes (and our tests exercise anyway to pin
 last-applier-wins behavior).
 
-Diff runs are computed with vectorized numpy (flatnonzero over the
-byte-inequality mask) -- this is the hot path of the HLRC simulation.
+Run extraction is the hot path of the HLRC simulation and lives in
+:mod:`repro.simcore` -- a whole-buffer memcmp plus ``flatnonzero``-style
+splitting under the fast backend, an equivalent word-scan under the
+pure-python fallback.  Both produce identical run boundaries and bytes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
-import numpy as np
+from repro.simcore import diff_runs
 
 #: per-run encoding overhead on the wire (offset + length words)
 RUN_HEADER_BYTES = 4
@@ -28,8 +30,9 @@ class Diff:
     """The changed byte runs of one block."""
 
     block: int
-    #: list of (offset, data) runs, offsets ascending, non-adjacent
-    runs: List[Tuple[int, np.ndarray]]
+    #: list of (offset, data) runs, offsets ascending, non-adjacent;
+    #: data is a byte buffer of the active simcore backend
+    runs: List[Tuple[int, Sequence[int]]]
 
     @property
     def payload_bytes(self) -> int:
@@ -46,36 +49,14 @@ class Diff:
         return not self.runs
 
 
-def create_diff(block: int, dirty: np.ndarray, twin: np.ndarray) -> Diff:
+def create_diff(block: int, dirty, twin) -> Diff:
     """Compare a dirty copy against its twin and extract changed runs."""
-    if dirty.shape != twin.shape:
+    if len(dirty) != len(twin):
         raise ValueError("dirty/twin shape mismatch")
-    # Fast path: unchanged block (write fault taken, same bytes stored
-    # back).  A memoryview compare is a single C memcmp for the
-    # contiguous uint8 blocks the storage layer hands us -- much
-    # cheaper than materializing the inequality mask.
-    if dirty.data == twin.data:
-        return Diff(block=block, runs=[])
-    idx = np.flatnonzero(dirty != twin)
-    lo = int(idx[0])
-    hi = int(idx[-1]) + 1
-    if hi - lo == idx.size:
-        # Single contiguous run (a sequential sweep over the block):
-        # skip the run-splitting machinery entirely.
-        return Diff(block=block, runs=[(lo, dirty[lo:hi].copy())])
-    runs: List[Tuple[int, np.ndarray]] = []
-    # Split the changed-byte indices into maximal contiguous runs.
-    breaks = np.flatnonzero(np.diff(idx) > 1)
-    starts = np.concatenate(([0], breaks + 1))
-    ends = np.concatenate((breaks, [idx.size - 1]))
-    for s, e in zip(starts, ends):
-        lo = int(idx[s])
-        hi = int(idx[e]) + 1
-        runs.append((lo, dirty[lo:hi].copy()))
-    return Diff(block=block, runs=runs)
+    return Diff(block=block, runs=diff_runs(dirty, twin))
 
 
-def apply_diff(target: np.ndarray, diff: Diff) -> int:
+def apply_diff(target, diff: Diff) -> int:
     """Apply a diff's runs to a block copy; returns bytes written."""
     written = 0
     n = len(target)
@@ -86,6 +67,13 @@ def apply_diff(target: np.ndarray, diff: Diff) -> int:
             raise ValueError(
                 f"diff run [{off}, {end}) outside block of {n} bytes"
             )
-        target[off:end] = data
+        if isinstance(data, (bytes, bytearray)) and not isinstance(target, bytearray):
+            # bytes runs applied to a foreign buffer target (a numpy
+            # array in mixed test environments): numpy would *parse*
+            # digit-looking bytes as an int literal, so route the copy
+            # through a byte view instead of slice assignment.
+            memoryview(target).cast("B")[off:end] = data
+        else:
+            target[off:end] = data
         written += size
     return written

@@ -31,8 +31,6 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Set
 
-import numpy as np
-
 from repro.core.diff import apply_diff, create_diff
 from repro.core.protocol import CoherenceProtocol, register
 from repro.memory.access_control import INV, RO, RW
@@ -49,7 +47,7 @@ class ERCProtocol(CoherenceProtocol):
     def __init__(self, machine):
         super().__init__(machine)
         n = machine.params.n_nodes
-        self.twins: List[Dict[int, np.ndarray]] = [dict() for _ in range(n)]
+        self.twins: List[Dict[int, bytearray]] = [dict() for _ in range(n)]
         self.dirty: List[Set[int]] = [set() for _ in range(n)]
         #: home-side copyset per block: nodes holding a cached copy
         self.copyset: Dict[int, Set[int]] = {}

@@ -25,8 +25,6 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List
 
-import numpy as np
-
 from repro.core.diff import apply_diff, create_diff
 from repro.core.lrc_base import LRCBase
 from repro.core.protocol import register
@@ -44,7 +42,7 @@ class HLRCProtocol(LRCBase):
         super().__init__(machine)
         n = machine.params.n_nodes
         #: per-node twins for blocks with unflushed modifications
-        self.twins: List[Dict[int, np.ndarray]] = [dict() for _ in range(n)]
+        self.twins: List[Dict[int, bytearray]] = [dict() for _ in range(n)]
         #: per-node interval counter per block (notice versions)
         self._epoch: List[Dict[int, int]] = [dict() for _ in range(n)]
 

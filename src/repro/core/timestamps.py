@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro.simcore import vc_alloc, vc_dominates, vc_merge_into
+
 
 @dataclass(frozen=True, slots=True)
 class WriteNotice:
@@ -36,27 +38,28 @@ class WriteNotice:
 
 
 class VectorClock:
-    """A mutable vector timestamp over ``n`` nodes."""
+    """A mutable vector timestamp over ``n`` nodes.
+
+    The component container comes from ``simcore.vc_alloc``: a plain
+    list for the paper's narrow clocks (fastest to index and loop
+    over), a dense ``array('q')`` for wide clocks so the fast backend's
+    merge/dominates kernels can vectorize over the raw int64 buffer.
+    Either way ``v`` supports indexing and item assignment.
+    """
 
     __slots__ = ("v",)
 
     def __init__(self, n: int):
-        self.v = [0] * n
+        self.v = vc_alloc(n)
 
     def copy(self) -> "VectorClock":
-        out = VectorClock(len(self.v))
-        out.v = list(self.v)
+        out = VectorClock.__new__(VectorClock)
+        out.v = self.v[:]
         return out
 
     def merge(self, other: Sequence[int]) -> None:
-        # Hot path (every grant/barrier application): index arithmetic
-        # beats enumerate's per-element tuple here.
-        v = self.v
-        i = 0
-        for x in other:
-            if x > v[i]:
-                v[i] = x
-            i += 1
+        # Hot path (every grant/barrier application).
+        vc_merge_into(self.v, other)
 
     def tick(self, node: int) -> int:
         """Start a new interval for ``node``; returns the new count."""
@@ -73,17 +76,10 @@ class VectorClock:
         return tuple(self.v)
 
     def dominates(self, other: Sequence[int]) -> bool:
-        # Early-exit explicit loop: no zip tuples, no generator frame.
-        v = self.v
-        i = 0
-        for x in other:
-            if v[i] < x:
-                return False
-            i += 1
-        return True
+        return vc_dominates(self.v, other)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"VC{self.v}"
+        return f"VC{list(self.v)}"
 
 
 class IntervalLog:

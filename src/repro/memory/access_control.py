@@ -5,11 +5,18 @@ levels and raises a fast exception (~5 us) when a load or store
 violates the tag.  We keep one tag table per node; the default state of
 every block is INVALID, so a node's first touch always faults -- which
 is what triggers demand mapping and first-touch home assignment.
+
+The table itself is a dense per-node byte array (one tag byte per
+block id) provided by :mod:`repro.simcore`, with a parallel readable
+set so the region hot path keeps its one-C-call membership test
+(``permits_read`` is a bound ``set.__contains__``).  Bulk sweeps over
+tagged blocks are vectorized under the fast backend and iterate in
+ascending block id under both.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from repro import simcore
 
 #: access tags, ordered by permission
 INV = 0  #: no access -- any load or store faults
@@ -23,53 +30,13 @@ def tag_name(tag: int) -> str:
     return _NAMES[tag]
 
 
-class AccessControl:
-    """Per-node block tag table (one instance per node)."""
+class AccessControl(simcore.TagArray):
+    """Per-node block tag table (one instance per node).
 
-    __slots__ = ("_tags", "permits_read")
+    A thin domain alias for the simcore tag-array kernel; the full API
+    (``tag``/``permits``/``set_tag``/``invalidate``/``downgrade``/
+    ``blocks_with_access``/``permits_read``/``__len__``) lives on the
+    backend-selected base class.
+    """
 
-    def __init__(self) -> None:
-        self._tags: Dict[int, int] = {}
-        #: fast-path alias: a block permits reads iff it has any tag
-        #: (the table is sparse, INVALID entries are never stored), so
-        #: read-permission checks are a bound dict.__contains__ -- one
-        #: C call on the region-access hot path.
-        self.permits_read = self._tags.__contains__
-
-    def tag(self, block: int) -> int:
-        return self._tags.get(block, INV)
-
-    def permits(self, block: int, write: bool) -> bool:
-        """Does the current tag allow the access (no fault)?"""
-        t = self._tags.get(block, INV)
-        return t == RW or (t == RO and not write)
-
-    def set_tag(self, block: int, tag: int) -> None:
-        if tag not in _NAMES:
-            raise ValueError(f"bad tag {tag}")
-        if tag == INV:
-            # Keep the table sparse: INVALID is the default.
-            self._tags.pop(block, None)
-        else:
-            self._tags[block] = tag
-
-    def invalidate(self, block: int) -> bool:
-        """Drop to INVALID.  Returns True if the block had any access."""
-        return self._tags.pop(block, None) is not None
-
-    def downgrade(self, block: int) -> bool:
-        """RW -> RO (used when SC recalls an exclusive copy for a read).
-
-        Returns True if the block was RW.
-        """
-        if self._tags.get(block) == RW:
-            self._tags[block] = RO
-            return True
-        return False
-
-    def blocks_with_access(self) -> Iterator[Tuple[int, int]]:
-        """All (block, tag) pairs with non-INVALID tags."""
-        return iter(self._tags.items())
-
-    def __len__(self) -> int:
-        return len(self._tags)
+    __slots__ = ()

@@ -1,9 +1,11 @@
 """Per-node backing stores holding real block contents.
 
 Every node caches blocks of the shared address space in local memory;
-the contents are real ``numpy`` byte arrays so that the HLRC twin/diff
-machinery operates on actual data and the correctness tests can verify
-that values written on one node are the values read on another.
+the contents are real byte buffers -- flat ``numpy`` arrays under the
+fast simcore backend, ``bytearray`` under the pure-python fallback --
+so that the HLRC twin/diff machinery operates on actual data and the
+correctness tests can verify that values written on one node are the
+values read on another.
 
 Blocks materialize lazily, zero-filled -- the DSM's initial contents.
 """
@@ -12,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Tuple
 
-import numpy as np
+from repro.simcore import alloc_block, as_payload, copy_of, empty_block
 
 
 class NodeStore:
@@ -22,30 +24,30 @@ class NodeStore:
 
     def __init__(self, granularity: int):
         self.granularity = granularity
-        self._blocks: Dict[int, np.ndarray] = {}
+        self._blocks: Dict[int, bytearray] = {}
 
-    def block(self, block_id: int) -> np.ndarray:
+    def block(self, block_id: int):
         """The local copy of a block, created zero-filled on demand."""
         buf = self._blocks.get(block_id)
         if buf is None:
-            buf = np.zeros(self.granularity, dtype=np.uint8)
+            buf = alloc_block(self.granularity)
             self._blocks[block_id] = buf
         return buf
 
     def has_block(self, block_id: int) -> bool:
         return block_id in self._blocks
 
-    def install(self, block_id: int, data: np.ndarray) -> None:
+    def install(self, block_id: int, data) -> None:
         """Overwrite the local copy with fetched contents."""
-        if data.shape != (self.granularity,):
+        if len(data) != self.granularity:
             raise ValueError(
-                f"block data shape {data.shape} != granularity {self.granularity}"
+                f"block data length {len(data)} != granularity {self.granularity}"
             )
-        self.block(block_id)[:] = data
+        self.block(block_id)[:] = as_payload(data)
 
-    def snapshot(self, block_id: int) -> np.ndarray:
+    def snapshot(self, block_id: int):
         """An independent copy of the block (twin creation, messaging)."""
-        return self.block(block_id).copy()
+        return copy_of(self.block(block_id))
 
     def drop(self, block_id: int) -> None:
         """Free the local copy (memory-pressure modeling; optional)."""
@@ -54,10 +56,14 @@ class NodeStore:
     # ------------------------------------------------------------------
     # region I/O across block boundaries
     # ------------------------------------------------------------------
-    def read_region(self, addr: int, size: int) -> np.ndarray:
+    def read_region(self, addr: int, size: int):
         """Copy ``size`` bytes starting at ``addr`` out of local copies."""
         g = self.granularity
-        out = np.empty(size, dtype=np.uint8)
+        block, off = divmod(addr, g)
+        if off + size <= g:
+            # Common case: the region sits inside one block.
+            return copy_of(self.block(block)[off : off + size])
+        out = empty_block(size)
         end = addr + size
         pos = addr
         while pos < end:
@@ -68,10 +74,15 @@ class NodeStore:
             pos += length
         return out
 
-    def write_region(self, addr: int, data: np.ndarray) -> None:
+    def write_region(self, addr: int, data) -> None:
         """Copy ``data`` into local copies starting at ``addr``."""
+        data = as_payload(data)
         g = self.granularity
         size = len(data)
+        block, off = divmod(addr, g)
+        if off + size <= g:
+            self.block(block)[off : off + size] = data
+            return
         end = addr + size
         pos = addr
         while pos < end:
@@ -81,7 +92,7 @@ class NodeStore:
             self.block(block)[off : off + length] = data[pos - addr : pos - addr + length]
             pos += length
 
-    def blocks(self) -> Iterator[Tuple[int, np.ndarray]]:
+    def blocks(self) -> Iterator[Tuple[int, bytearray]]:
         return iter(self._blocks.items())
 
     def __len__(self) -> int:

@@ -50,7 +50,7 @@ are never perturbed.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.config import MachineParams, hops_between
 from repro.net.faultplan import FaultPlan
@@ -88,6 +88,11 @@ class Network:
             [hops_between(a, b) * params.switch_hop_us for b in range(n)]
             for a in range(n)
         ]
+        #: per-size (latency, occupancy) -- both are pure functions of
+        #: size and the static machine params, and a cell only ever sees
+        #: a handful of distinct message sizes (control sizes, the
+        #: granularity, diff sizes), so the cache stays tiny
+        self._cost_by_size: Dict[int, Tuple[float, float]] = {}
 
     def send(self, msg: Message) -> None:
         """Inject a message; schedules its delivery at the destination."""
@@ -104,11 +109,15 @@ class Network:
 
         self.stats.record_message(msg.mtype, msg.size_bytes)
 
-        p = self.params
+        size = msg.size_bytes
+        cost = self._cost_by_size.get(size)
+        if cost is None:
+            p = self.params
+            cost = (p.one_way_latency_us(size), p.nic_occupancy_us(size))
+            self._cost_by_size[size] = cost
         start = max(now, self._nic_free[msg.src])
-        self._nic_free[msg.src] = start + p.nic_occupancy_us(msg.size_bytes)
-        latency = p.one_way_latency_us(msg.size_bytes)
-        latency += self._hop_us[msg.src][msg.dst]
+        self._nic_free[msg.src] = start + cost[1]
+        latency = cost[0] + self._hop_us[msg.src][msg.dst]
         if self._faults is not None:
             self._faulty_send(msg, start, latency)
             return

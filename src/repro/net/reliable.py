@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 from repro.net.faultplan import FaultPlan
 from repro.net.message import Message, control_size
 from repro.sim.engine import SimulationError
+from repro.simcore import SeqRing
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.myrinet import Network
@@ -83,8 +84,11 @@ class ReliableTransport:
         self._next_seq: List[List[int]] = [[0] * n for _ in range(n)]
         #: next sequence number to deliver, per (src, dst) link
         self._expect: List[List[int]] = [[0] * n for _ in range(n)]
-        #: out-of-order arrivals held for resequencing
-        self._held: Dict[Tuple[int, int], Dict[int, Message]] = {}
+        #: out-of-order arrivals held for resequencing, per link --
+        #: sequence-indexed rings (held seqs sit in the retransmit
+        #: window just above the delivery cursor, so ``seq & mask``
+        #: addressing is collision-free in practice)
+        self._held: Dict[Tuple[int, int], SeqRing] = {}
         #: (src, dst, seq) -> retransmit timer handle (cancellable)
         self._timers: Dict[Tuple[int, int, int], object] = {}
 
@@ -151,12 +155,11 @@ class ReliableTransport:
         held = self._held.get(link)
         if seq > expect:
             if held is None:
-                held = self._held[link] = {}
-            if seq in held:
-                self.tstats.dup_suppressed += 1
-            else:
-                held[seq] = msg
+                held = self._held[link] = SeqRing()
+            if held.put(seq, msg):
                 self.tstats.reorder_buffered += 1
+            else:
+                self.tstats.dup_suppressed += 1
             return
         # In order: deliver, then drain anything the gap was holding.
         deliver = self.m.deliver_to_node

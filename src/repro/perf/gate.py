@@ -39,7 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.perf.micros import MICROS, MicroFn, calibration_spin
+from repro.perf.micros import MICRO_TUNING, MICROS, MicroFn, calibration_spin
 
 SCHEMA_VERSION = 1
 
@@ -212,7 +212,15 @@ def run_suite(
     if unknown:
         raise PerfError(f"unknown micro(s): {', '.join(unknown)}")
     cal = measure_calibration()
-    results = {n: _measure(n, MICROS[n], reps, warmup) for n in selected}
+    results = {}
+    for n in selected:
+        tune = MICRO_TUNING.get(n, {})
+        results[n] = _measure(
+            n,
+            MICROS[n],
+            max(reps, tune.get("min_reps", 0)),
+            max(warmup, tune.get("warmup", 0)),
+        )
     return SuiteResult(
         reps=reps,
         calibration_ms=cal,

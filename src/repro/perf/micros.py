@@ -34,8 +34,6 @@ import hashlib
 import json
 from typing import Callable, Dict, Optional, Tuple
 
-import numpy as np
-
 #: counts returned by a micro, e.g. {"events": 40000}
 Counts = Dict[str, int]
 MicroFn = Callable[[], Tuple[Counts, Optional[str]]]
@@ -160,14 +158,20 @@ def vc_merge(n_nodes: int = 32, iterations: int = 20_000) -> Tuple[Counts, None]
 def diff_roundtrip(block_bytes: int = 4096, reps: int = 300) -> Tuple[Counts, None]:
     """create_diff + apply_diff over the three real-world block shapes."""
     from repro.core.diff import apply_diff, create_diff
+    from repro.simcore import alloc_block, frombytes
 
-    twin = (np.arange(block_bytes) % 251).astype(np.uint8)
-    identical = twin.copy()
-    sweep = twin.copy()
-    sweep[64:1600] += 1
-    scattered = twin.copy()
-    scattered[::17] += 3
-    target = np.zeros(block_bytes, dtype=np.uint8)
+    base = bytearray(i % 251 for i in range(block_bytes))
+    twin = frombytes(base)
+    identical = frombytes(base)
+    sweep_b = bytearray(base)
+    for i in range(64, min(1600, block_bytes)):
+        sweep_b[i] += 1
+    sweep = frombytes(sweep_b)
+    scattered_b = bytearray(base)
+    for i in range(0, block_bytes, 17):
+        scattered_b[i] += 3
+    scattered = frombytes(scattered_b)
+    target = alloc_block(block_bytes)
     ops = 0
     for _ in range(reps):
         for dirty in (identical, sweep, scattered):
@@ -212,6 +216,16 @@ def full_cell_swlrc() -> Tuple[Counts, str]:
 def full_cell_hlrc() -> Tuple[Counts, str]:
     return full_cell("hlrc")
 
+
+#: Per-micro measurement overrides, applied on top of the suite-wide
+#: reps/warmup by :func:`repro.perf.gate.run_suite`.  ``engine_churn``
+#: is the one noisy micro: its first runs still pay allocator and
+#: code-object warmup (the committed baseline shows 33-56 ms spread),
+#: so it gets a longer warmup and a rep floor that keeps the median
+#: robust against scheduler interference on shared CI runners.
+MICRO_TUNING: Dict[str, Dict[str, int]] = {
+    "engine_churn": {"warmup": 3, "min_reps": 9},
+}
 
 #: the suite, in run order
 MICROS: Dict[str, MicroFn] = {

@@ -19,11 +19,10 @@ feasible.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Generator, Optional, Union
-
-import numpy as np
+from typing import Generator, Optional
 
 from repro.cluster.machine import Machine
+from repro.simcore import as_payload, empty_block, fill
 
 
 class Dsm:
@@ -80,12 +79,13 @@ class Dsm:
             # analogue is the store replay after TLB/tag update).
 
     def read(self, addr: int, size: int) -> Generator:
-        """Read ``size`` bytes at ``addr``; returns a uint8 array."""
+        """Read ``size`` bytes at ``addr``; returns a byte buffer of
+        the active simcore backend (uint8 array or bytearray)."""
         node = self.node
         hooks = self.machine.hooks
         if hooks is not None:
             hooks.on_region(node.id, addr, size, False)
-        out = np.empty(size, dtype=np.uint8)
+        out = empty_block(size)
         permits_read = node.access.permits_read
         for block, off, roff, length in self._bs.block_slices(addr, size):
             if not permits_read(block):
@@ -93,17 +93,13 @@ class Dsm:
             out[roff : roff + length] = node.store.block(block)[off : off + length]
         return out
 
-    def write(self, addr: int, data: Union[np.ndarray, bytes]) -> Generator:
+    def write(self, addr: int, data) -> Generator:
         """Write bytes at ``addr`` through the coherence protocol."""
         node = self.node
         hooks = self.machine.hooks
         if hooks is not None:
             hooks.on_region(node.id, addr, len(data), True)
-        data = np.asarray(
-            np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray))
-            else data,
-            dtype=np.uint8,
-        )
+        data = as_payload(data)
         permits = node.access.permits
         for block, off, roff, length in self._bs.block_slices(addr, len(data)):
             if not permits(block, True):
@@ -139,7 +135,7 @@ class Dsm:
             if not permits(block, True):
                 yield from self._ensure(block, write=True)
             if pattern >= 0:
-                node.store.block(block)[off : off + length] = pattern & 0xFF
+                fill(node.store.block(block), off, off + length, pattern & 0xFF)
 
     # ------------------------------------------------------------------
     # checker annotations

@@ -5,6 +5,12 @@ programs use: real values move through the protocols, so a value
 written on one node under proper synchronization is exactly the value
 read on another.
 
+Element types are described by :func:`repro.simcore.dtype` (which
+accepts numpy dtypes, python ``float``/``int``, and string names), and
+values are packed/viewed through the active simcore backend -- numpy
+views under the fast core, ``memoryview.cast``/``struct`` under the
+pure-python fallback.
+
 All accessors are generators (they may fault) and must be driven with
 ``yield from`` inside an application process.
 """
@@ -13,10 +19,10 @@ from __future__ import annotations
 
 from typing import Generator, Tuple
 
-import numpy as np
-
 from repro.memory.address_space import Segment
 from repro.runtime.dsm import Dsm
+from repro.simcore import dtype as _dtype
+from repro.simcore import pack_scalar, pack_values, typed_view
 
 
 class SharedArray:
@@ -26,8 +32,8 @@ class SharedArray:
     node's :class:`Dsm` handle passed per call.
     """
 
-    def __init__(self, machine, name: str, length: int, dtype=np.float64):
-        self.dtype = np.dtype(dtype)
+    def __init__(self, machine, name: str, length: int, dtype="float64"):
+        self.dtype = _dtype(dtype)
         self.length = length
         self.itemsize = self.dtype.itemsize
         self.segment: Segment = machine.alloc(length * self.itemsize, name)
@@ -46,11 +52,10 @@ class SharedArray:
     # ------------------------------------------------------------------
     def get(self, dsm: Dsm, index: int) -> Generator:
         raw = yield from dsm.read(self.addr(index), self.itemsize)
-        return raw.view(self.dtype)[0]
+        return typed_view(raw, self.dtype)[0]
 
     def set(self, dsm: Dsm, index: int, value) -> Generator:
-        raw = np.array([value], dtype=self.dtype).view(np.uint8)
-        yield from dsm.write(self.addr(index), raw)
+        yield from dsm.write(self.addr(index), pack_scalar(value, self.dtype))
 
     # ------------------------------------------------------------------
     # slice access
@@ -60,25 +65,26 @@ class SharedArray:
             raise IndexError(f"slice [{start}:{stop}] out of range")
         raw = yield from dsm.read(self.addr(start) if stop > start else self.segment.base,
                                   (stop - start) * self.itemsize)
-        return raw.view(self.dtype)
+        return typed_view(raw, self.dtype)
 
     def set_slice(self, dsm: Dsm, start: int, values) -> Generator:
-        values = np.asarray(values, dtype=self.dtype)
         stop = start + len(values)
         if not 0 <= start <= stop <= self.length:
             raise IndexError(f"slice [{start}:{stop}] out of range")
         if len(values) == 0:
             return
-        yield from dsm.write(self.addr(start), values.view(np.uint8))
+        raw = pack_values(values, (len(values),), self.dtype)
+        yield from dsm.write(self.addr(start), raw)
 
     # ------------------------------------------------------------------
     # initialization (pre-parallel, no simulated cost)
     # ------------------------------------------------------------------
     def init(self, values) -> None:
-        values = np.asarray(values, dtype=self.dtype)
         if len(values) != self.length:
             raise ValueError("init length mismatch")
-        self.machine.init_data(self.segment.base, values.view(np.uint8))
+        self.machine.init_data(
+            self.segment.base, pack_values(values, (self.length,), self.dtype)
+        )
 
     def place(self, start: int, stop: int, node: int) -> None:
         """Declarative home placement of an index range."""
@@ -92,9 +98,9 @@ class SharedArray:
 class SharedMatrix:
     """A row-major 2-D typed matrix in shared memory."""
 
-    def __init__(self, machine, name: str, shape: Tuple[int, int], dtype=np.float64):
+    def __init__(self, machine, name: str, shape: Tuple[int, int], dtype="float64"):
         self.rows, self.cols = shape
-        self.dtype = np.dtype(dtype)
+        self.dtype = _dtype(dtype)
         self.itemsize = self.dtype.itemsize
         self.row_bytes = self.cols * self.itemsize
         self.segment: Segment = machine.alloc(self.rows * self.row_bytes, name)
@@ -107,29 +113,24 @@ class SharedMatrix:
 
     def get(self, dsm: Dsm, r: int, c: int) -> Generator:
         raw = yield from dsm.read(self.addr(r, c), self.itemsize)
-        return raw.view(self.dtype)[0]
+        return typed_view(raw, self.dtype)[0]
 
     def set(self, dsm: Dsm, r: int, c: int, value) -> Generator:
-        raw = np.array([value], dtype=self.dtype).view(np.uint8)
-        yield from dsm.write(self.addr(r, c), raw)
+        yield from dsm.write(self.addr(r, c), pack_scalar(value, self.dtype))
 
     def get_row(self, dsm: Dsm, r: int) -> Generator:
         raw = yield from dsm.read(self.addr(r, 0), self.row_bytes)
-        return raw.view(self.dtype)
+        return typed_view(raw, self.dtype)
 
     def set_row(self, dsm: Dsm, r: int, values) -> Generator:
-        values = np.asarray(values, dtype=self.dtype)
         if len(values) != self.cols:
             raise ValueError("row length mismatch")
-        yield from dsm.write(self.addr(r, 0), values.view(np.uint8))
+        raw = pack_values(values, (self.cols,), self.dtype)
+        yield from dsm.write(self.addr(r, 0), raw)
 
     def init(self, values) -> None:
-        values = np.asarray(values, dtype=self.dtype)
-        if values.shape != (self.rows, self.cols):
-            raise ValueError("init shape mismatch")
-        self.machine.init_data(
-            self.segment.base, np.ascontiguousarray(values).view(np.uint8).ravel()
-        )
+        raw = pack_values(values, (self.rows, self.cols), self.dtype)
+        self.machine.init_data(self.segment.base, raw)
 
     def place_rows(self, start: int, stop: int, node: int) -> None:
         if stop <= start:

@@ -337,7 +337,43 @@ class Engine:
                         if queue and queue[0] < fifo[0]:
                             entry = pop(queue)
                         else:
+                            # Batched same-instant dispatch: drain the
+                            # FIFO run at this timestamp without
+                            # re-arbitrating the lanes per event.
+                            # During the drain every new entry lands
+                            # either in the heap with time > tnow or at
+                            # the FIFO tail with time == tnow.  Only a
+                            # heap entry with (time, seq) below a FIFO
+                            # entry at tnow could preempt the run, and
+                            # no such entry can appear after the drain
+                            # starts -- so comparing against the heap
+                            # head captured here reproduces exactly the
+                            # order the per-event merge would have
+                            # produced.
                             entry = popleft()
+                            tnow = entry[0]
+                            qh = queue[0] if queue else None
+                            while True:
+                                ev = entry[2]
+                                if ev is None or not ev.cancelled:
+                                    self._now = tnow
+                                    events_run += 1
+                                    if events_run > max_events:
+                                        raise SimulationError(
+                                            f"event budget exhausted "
+                                            f"({max_events} events); "
+                                            "likely protocol livelock"
+                                        )
+                                    entry[3](*entry[4])
+                                if fifo:
+                                    entry = fifo[0]
+                                    if entry[0] == tnow and (
+                                        qh is None or entry < qh
+                                    ):
+                                        popleft()
+                                        continue
+                                break
+                            continue
                     elif queue:
                         entry = pop(queue)
                     else:

@@ -1,0 +1,209 @@
+"""The numpy simcore backend: flat arrays, whole-buffer compares,
+vectorized run extraction.
+
+Every kernel here has a pure-python twin in :mod:`repro.simcore.pycore`
+producing bit-identical observable state; ``tests/test_simcore.py``
+drives both through randomized operation sequences to keep it that way.
+
+Small-size honesty: numpy call overhead (~1 us per ufunc) dwarfs the
+work for the paper's 16-node vector clocks, so the vector-clock kernels
+only vectorize above :data:`_VC_VECTOR_MIN` elements and use the same
+early-exit loops as the fallback below it.  The results are identical
+either way (integer max is integer max); only the constant factor
+changes.  Block-plane kernels (diff, compares, fills) vectorize at
+every size -- blocks are 64-16384 bytes, past the crossover already.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.simcore.dtypes import DType
+from repro.simcore.tags import TagArrayBase
+
+BACKEND = "fast"
+
+#: vector-clock length at which numpy beats the early-exit loop
+_VC_VECTOR_MIN = 64
+
+_u8 = np.uint8
+_i64 = np.int64
+
+
+# ----------------------------------------------------------------------
+# block buffers
+# ----------------------------------------------------------------------
+def alloc_block(n: int) -> np.ndarray:
+    """A zero-filled mutable byte buffer of ``n`` bytes."""
+    return np.zeros(n, dtype=_u8)
+
+
+def empty_block(n: int) -> np.ndarray:
+    """An uninitialized byte buffer (caller overwrites every byte)."""
+    return np.empty(n, dtype=_u8)
+
+
+def frombytes(data) -> np.ndarray:
+    """An independent mutable buffer holding a copy of ``data``."""
+    return np.frombuffer(bytes(data), dtype=_u8).copy()
+
+
+def copy_of(buf: np.ndarray) -> np.ndarray:
+    return buf.copy()
+
+
+def buf_eq(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whole-buffer equality: one C memcmp for contiguous u8 buffers."""
+    return a.data == b.data
+
+
+def tobytes(buf: np.ndarray) -> bytes:
+    return buf.tobytes()
+
+
+def fill(buf: np.ndarray, start: int, stop: int, value: int) -> None:
+    buf[start:stop] = value
+
+
+def as_payload(data) -> np.ndarray:
+    """Coerce external bytes-like input to a sliceable byte buffer."""
+    if isinstance(data, np.ndarray):
+        return data if data.dtype == _u8 else data.view(_u8)
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        # zero-copy read-only view; payloads are only sliced from
+        return np.frombuffer(data, dtype=_u8)
+    return np.asarray(data, dtype=_u8)
+
+
+# ----------------------------------------------------------------------
+# typed views and packing
+# ----------------------------------------------------------------------
+def typed_view(buf, dt: DType):
+    """View a byte buffer as elements of ``dt`` (zero copy)."""
+    if isinstance(buf, np.ndarray):
+        return buf.view(np.dtype(dt.name))
+    return np.frombuffer(buf, dtype=np.dtype(dt.name))
+
+
+def pack_scalar(value: Any, dt: DType) -> np.ndarray:
+    """One value as its byte representation."""
+    return np.array([value], dtype=np.dtype(dt.name)).view(_u8)
+
+
+def pack_values(values: Any, shape, dt: DType) -> np.ndarray:
+    """A sequence (or nested sequence) as bytes; shape-checked."""
+    arr = np.asarray(values, dtype=np.dtype(dt.name))
+    if arr.shape != shape:
+        raise ValueError(f"value shape {arr.shape} != expected {shape}")
+    return np.ascontiguousarray(arr).view(_u8).ravel()
+
+
+# ----------------------------------------------------------------------
+# access-tag tables
+# ----------------------------------------------------------------------
+def nonzero_u8(tags: bytearray) -> List[int]:
+    """Indices of non-zero bytes, ascending."""
+    return np.flatnonzero(np.frombuffer(tags, dtype=_u8)).tolist()
+
+
+class TagArray(TagArrayBase):
+    """Dense tag table with vectorized bulk scans."""
+
+    __slots__ = ()
+    _nonzero = staticmethod(nonzero_u8)
+
+
+# ----------------------------------------------------------------------
+# vector-clock kernels
+# ----------------------------------------------------------------------
+def vc_alloc(n: int):
+    """A zeroed clock vector.
+
+    Below the vectorization crossover a plain list wins (list indexing
+    beats ``array('q')`` by ~1.5x and numpy call overhead dwarfs the
+    work); at and above it an ``array('q')`` exposes the raw int64
+    buffer the vectorized kernels operate on zero-copy.
+    """
+    if n < _VC_VECTOR_MIN:
+        return [0] * n
+    return array("q", bytes(8 * n))
+
+
+def vc_merge_into(v, other) -> None:
+    """Elementwise ``v[i] = max(v[i], other[i])`` into ``v``.
+
+    ``v`` is an ``array('q')``; ``other`` any int sequence of the same
+    length.  Vectorizes above the small-clock crossover.
+    """
+    n = len(v)
+    if n >= _VC_VECTOR_MIN:
+        a = np.frombuffer(v, dtype=_i64)
+        try:
+            b = np.frombuffer(other, dtype=_i64)
+        except TypeError:
+            b = np.asarray(other, dtype=_i64)
+        np.maximum(a, b, out=a)
+        return
+    i = 0
+    for x in other:
+        if x > v[i]:
+            v[i] = x
+        i += 1
+
+
+def vc_dominates(v, other) -> bool:
+    """True iff ``v[i] >= other[i]`` for every component."""
+    n = len(v)
+    if n >= _VC_VECTOR_MIN:
+        a = np.frombuffer(v, dtype=_i64)
+        try:
+            b = np.frombuffer(other, dtype=_i64)
+        except TypeError:
+            b = np.asarray(other, dtype=_i64)
+        return bool((a >= b).all())
+    i = 0
+    for x in other:
+        if v[i] < x:
+            return False
+        i += 1
+    return True
+
+
+# ----------------------------------------------------------------------
+# twin/diff run extraction
+# ----------------------------------------------------------------------
+def diff_runs(dirty, twin) -> List[Tuple[int, np.ndarray]]:
+    """Changed-byte runs of ``dirty`` vs ``twin``: maximal groups of
+    consecutive differing byte offsets, as (offset, copied data)."""
+    # Normalize foreign buffer types (tests hand bytes in; the storage
+    # layer always hands ndarrays) to byte arrays.
+    if not isinstance(dirty, np.ndarray):
+        dirty = np.frombuffer(dirty, dtype=_u8)
+    if not isinstance(twin, np.ndarray):
+        twin = np.frombuffer(twin, dtype=_u8)
+    # Fast path: unchanged block (write fault taken, same bytes stored
+    # back).  A memoryview compare is a single C memcmp for the
+    # contiguous uint8 blocks the storage layer hands us -- much
+    # cheaper than materializing the inequality mask.
+    if dirty.data == twin.data:
+        return []
+    idx = np.flatnonzero(dirty != twin)
+    lo = int(idx[0])
+    hi = int(idx[-1]) + 1
+    if hi - lo == idx.size:
+        # Single contiguous run (a sequential sweep over the block):
+        # skip the run-splitting machinery entirely.
+        return [(lo, dirty[lo:hi].copy())]
+    runs: List[Tuple[int, np.ndarray]] = []
+    # Split the changed-byte indices into maximal contiguous runs.
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [idx.size - 1]))
+    for s, e in zip(starts, ends):
+        lo = int(idx[s])
+        hi = int(idx[e]) + 1
+        runs.append((lo, dirty[lo:hi].copy()))
+    return runs

@@ -1,0 +1,256 @@
+"""The pure-python simcore backend: bytearray/array/memoryview only.
+
+No third-party imports -- this module (and everything it pulls in) must
+import on a bare python install, because the CI fallback leg runs the
+whole tier-1 suite with numpy uninstalled.
+
+Every kernel is the observable-state twin of its numpy counterpart in
+:mod:`repro.simcore.fastcore`: same results, same iteration order, same
+run boundaries, down to the byte.  Where the fast backend leans on
+vectorization, this one leans on the C-speed bulk primitives the
+stdlib already has -- ``bytearray`` slice compare (memcmp),
+``memoryview.cast`` word views, ``struct`` packing -- and falls back to
+plain loops only for the residual byte-level work.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Tuple
+
+from repro.simcore.dtypes import DType
+from repro.simcore.tags import TagArrayBase
+
+BACKEND = "python"
+
+
+# ----------------------------------------------------------------------
+# block buffers
+# ----------------------------------------------------------------------
+def alloc_block(n: int) -> bytearray:
+    """A zero-filled mutable byte buffer of ``n`` bytes."""
+    return bytearray(n)
+
+
+def empty_block(n: int) -> bytearray:
+    """An uninitialized buffer (zero-filled here; callers overwrite)."""
+    return bytearray(n)
+
+
+def frombytes(data) -> bytearray:
+    """An independent mutable buffer holding a copy of ``data``."""
+    return bytearray(data)
+
+
+def copy_of(buf) -> bytearray:
+    return bytearray(buf)
+
+
+def buf_eq(a, b) -> bool:
+    """Whole-buffer equality: bytearray compare is a single C memcmp."""
+    return a == b
+
+
+def tobytes(buf) -> bytes:
+    return bytes(buf)
+
+
+def fill(buf: bytearray, start: int, stop: int, value: int) -> None:
+    if stop > start:
+        buf[start:stop] = bytes([value]) * (stop - start)
+
+
+def as_payload(data):
+    """Coerce external bytes-like input to a sliceable byte buffer."""
+    if isinstance(data, (bytes, bytearray)):
+        return data
+    if isinstance(data, memoryview):
+        return data.cast("B") if data.format != "B" else data
+    # numpy arrays (tests may hand them over even under this backend),
+    # lists of ints, anything buffer-like
+    try:
+        return bytes(memoryview(data).cast("B"))
+    except TypeError:
+        return bytes(data)
+
+
+# ----------------------------------------------------------------------
+# typed views and packing
+# ----------------------------------------------------------------------
+class TypedView:
+    """A typed vector view over a byte buffer -- the pure-python
+    stand-in for the numpy view ``fastcore.typed_view`` returns.
+
+    Supports what callers of shared-array slices actually use:
+    indexing, item assignment, iteration, ``len``, ``sum``, ``tolist``,
+    ``copy``, equality, and ``__array__`` so numpy consumers in mixed
+    environments (the fallback-parity CI leg runs the full test suite
+    with numpy installed but this backend forced) can convert it.
+    """
+
+    __slots__ = ("_mv",)
+
+    def __init__(self, mv: memoryview):
+        self._mv = mv
+
+    def __len__(self) -> int:
+        return len(self._mv)
+
+    def __getitem__(self, i):
+        r = self._mv[i]
+        return TypedView(r) if isinstance(r, memoryview) else r
+
+    def __setitem__(self, i, value) -> None:
+        self._mv[i] = value
+
+    def __iter__(self):
+        return iter(self._mv)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TypedView):
+            return self._mv == other._mv
+        if isinstance(other, (memoryview, bytes, bytearray)):
+            return self._mv == other
+        return NotImplemented  # type: ignore[return-value]
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def sum(self):
+        return sum(self._mv)
+
+    def tolist(self) -> list:
+        return self._mv.tolist()
+
+    def copy(self) -> "TypedView":
+        return TypedView(memoryview(bytearray(self._mv.tobytes())).cast(self._mv.format))
+
+    def __array__(self, dtype=None, copy=None):
+        import numpy  # only reachable when numpy exists in the env
+
+        a = numpy.asarray(self._mv)
+        return a if dtype is None else a.astype(dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypedView({self._mv.format}, {self.tolist()!r})"
+
+
+def typed_view(buf, dt: DType) -> TypedView:
+    """View a byte buffer as elements of ``dt`` (zero copy)."""
+    mv = memoryview(buf)
+    if mv.format != "B":
+        mv = mv.cast("B")
+    return TypedView(mv.cast(dt.code))
+
+
+def pack_scalar(value: Any, dt: DType) -> bytes:
+    """One value as its byte representation."""
+    return struct.pack(dt.code, value)
+
+
+def pack_values(values: Any, shape, dt: DType) -> bytes:
+    """A sequence (or nested sequence) as bytes; shape-checked."""
+    flat: List[Any] = []
+    _flatten_into(values, tuple(shape), flat, shape)
+    return struct.pack(f"{len(flat)}{dt.code}", *flat)
+
+
+def _flatten_into(values, shape, out: List[Any], full_shape) -> None:
+    if not shape:
+        out.append(values)
+        return
+    vals = list(values)
+    if len(vals) != shape[0]:
+        raise ValueError(f"value shape mismatch != expected {tuple(full_shape)}")
+    for v in vals:
+        _flatten_into(v, shape[1:], out, full_shape)
+
+
+# ----------------------------------------------------------------------
+# access-tag tables
+# ----------------------------------------------------------------------
+def nonzero_u8(tags: bytearray) -> List[int]:
+    """Indices of non-zero bytes, ascending."""
+    return [i for i, t in enumerate(tags) if t]
+
+
+class TagArray(TagArrayBase):
+    """Dense tag table; bulk scans are plain byte loops."""
+
+    __slots__ = ()
+    _nonzero = staticmethod(nonzero_u8)
+
+
+# ----------------------------------------------------------------------
+# vector-clock kernels
+# ----------------------------------------------------------------------
+def vc_alloc(n: int) -> List[int]:
+    """A zeroed clock vector.  Plain lists index faster than any typed
+    container in pure python, and this backend never vectorizes."""
+    return [0] * n
+
+
+def vc_merge_into(v, other) -> None:
+    """Elementwise ``v[i] = max(v[i], other[i])`` into ``v``."""
+    i = 0
+    for x in other:
+        if x > v[i]:
+            v[i] = x
+        i += 1
+
+
+def vc_dominates(v, other) -> bool:
+    """True iff ``v[i] >= other[i]`` for every component."""
+    i = 0
+    for x in other:
+        if v[i] < x:
+            return False
+        i += 1
+    return True
+
+
+# ----------------------------------------------------------------------
+# twin/diff run extraction
+# ----------------------------------------------------------------------
+def diff_runs(dirty, twin) -> List[Tuple[int, bytes]]:
+    """Changed-byte runs of ``dirty`` vs ``twin``: maximal groups of
+    consecutive differing byte offsets, as (offset, copied data).
+
+    Strategy: one memcmp rules out the no-change case; then a word scan
+    over 8-byte views locates the changed words and only those words are
+    refined byte-by-byte.  For the sparse-write patterns twin/diff
+    exists to exploit, the python-level loop touches a small fraction
+    of the block.
+    """
+    # Normalize foreign buffer types (tests hand numpy arrays in even
+    # when this backend is forced) to byte-compare cleanly.
+    if not isinstance(dirty, (bytes, bytearray)):
+        dirty = memoryview(dirty).cast("B")
+    if not isinstance(twin, (bytes, bytearray)):
+        twin = memoryview(twin).cast("B")
+    if dirty == twin:
+        return []
+    idx: List[int] = []
+    n = len(dirty)
+    words = n >> 3
+    if words:
+        end = words << 3
+        dw = memoryview(dirty)[:end].cast("Q")
+        tw = memoryview(twin)[:end].cast("Q")
+        for w in range(words):
+            if dw[w] != tw[w]:
+                base = w << 3
+                for o in range(base, base + 8):
+                    if dirty[o] != twin[o]:
+                        idx.append(o)
+    for o in range(words << 3, n):
+        if dirty[o] != twin[o]:
+            idx.append(o)
+    runs: List[Tuple[int, bytes]] = []
+    start = prev = idx[0]
+    for o in idx[1:]:
+        if o != prev + 1:
+            runs.append((start, bytes(dirty[start : prev + 1])))
+            start = o
+        prev = o
+    runs.append((start, bytes(dirty[start : prev + 1])))
+    return runs

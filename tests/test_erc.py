@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro import Machine, MachineParams, SharedArray, run_program
+from repro.simcore import dtype, typed_view
 
 
 def make(g=4096, n=4):
@@ -61,7 +62,7 @@ def test_release_publishes_before_any_acquire():
             yield from dsm.release(5)
             # Immediately after the release: home current, reader dead.
             state["home_val"] = float(
-                m.nodes[3].store.block(block).view(np.float64)[0]
+                typed_view(m.nodes[3].store.block(block), dtype(np.float64))[0]
             )
             state["reader_tag"] = m.nodes[0].access.tag(block)
             yield from dsm.barrier(1, participants=nprocs)

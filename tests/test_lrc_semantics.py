@@ -6,6 +6,7 @@ import pytest
 
 from repro import Machine, MachineParams, SharedArray, run_program
 from repro.memory.access_control import INV, RO, RW
+from repro.simcore import dtype, typed_view
 
 
 def make(protocol, g=4096, n=4):
@@ -198,7 +199,7 @@ class TestHLRCTwinsAndDiffs:
                 yield from dsm.release(1)  # flush happens here
                 block = arr.segment.base // 4096
                 home_val.append(
-                    float(m.nodes[0].store.block(block).view(np.float64)[7])
+                    float(typed_view(m.nodes[0].store.block(block), dtype(np.float64))[7])
                 )
             yield from dsm.barrier(0, participants=nprocs)
 

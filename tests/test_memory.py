@@ -185,8 +185,8 @@ class TestNodeStore:
         store = NodeStore(64)
         assert not store.has_block(3)
         blk = store.block(3)
-        assert blk.shape == (64,)
-        assert not blk.any()
+        assert len(blk) == 64
+        assert bytes(blk) == bytes(64)
         assert store.has_block(3)
 
     def test_install_and_snapshot_independent(self):

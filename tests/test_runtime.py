@@ -56,7 +56,7 @@ class TestRegionOps:
             return out
 
         r = run_program(m, program, nprocs=1)
-        assert (r.results[0] == 0xAB).all()
+        assert bytes(r.results[0]) == bytes([0xAB]) * 512
 
     def test_touch_read_faults_without_copying(self):
         m = make()
@@ -206,7 +206,7 @@ class TestMachine:
         m.init_data(seg.base, np.full(1024, 7, dtype=np.uint8))
         block = seg.base // 256
         assert m.home.home(block) == 2
-        assert (m.nodes[2].store.block(block) == 7).all()
+        assert bytes(m.nodes[2].store.block(block)) == bytes([7]) * 256
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(ValueError, match="unknown protocol"):

@@ -1,0 +1,323 @@
+"""Differential tests for the two simcore backends.
+
+The fast (numpy) backend and the pure-python fallback must be
+observable-state twins: every kernel returns the same values, iterates
+in the same order, and extracts the same diff runs, down to the byte.
+These tests drive seeded randomized operation sequences through both
+backends side by side and assert identical state after every step --
+the unit-level counterpart of the full-cell stats-sha parity check.
+
+When numpy is not importable (the CI no-numpy leg) the differential
+classes skip and the fallback is instead checked against plain oracle
+models, so the pure-python kernels are still covered on a bare install.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from array import array
+
+import pytest
+
+from repro.simcore import BACKEND, dtypes, pycore
+from repro.simcore.ring import SeqRing
+
+try:
+    from repro.simcore import fastcore
+except ImportError:  # numpy absent: fallback-only environment
+    fastcore = None
+
+needs_fast = pytest.mark.skipif(
+    fastcore is None, reason="numpy unavailable; fast backend cannot load"
+)
+
+SEEDS = [0, 1, 2, 7, 1997]
+
+
+# ----------------------------------------------------------------------
+# tag arrays
+# ----------------------------------------------------------------------
+def _drive_tags(ta, rng: random.Random, trace: list) -> None:
+    """One seeded op sequence; every observable return lands in trace."""
+    for _ in range(400):
+        op = rng.randrange(6)
+        block = rng.randrange(200)
+        if op == 0:
+            ta.set_tag(block, rng.choice([0, 1, 2]))
+        elif op == 1:
+            trace.append(("inv", ta.invalidate(block)))
+        elif op == 2:
+            trace.append(("down", ta.downgrade(block)))
+        elif op == 3:
+            trace.append(("tag", ta.tag(block)))
+        elif op == 4:
+            trace.append(("perm", ta.permits(block, rng.random() < 0.5)))
+        else:
+            trace.append(("read", ta.permits_read(block)))
+    trace.append(("len", len(ta)))
+    trace.append(("bulk", list(ta.blocks_with_access())))
+
+
+@needs_fast
+@pytest.mark.parametrize("seed", SEEDS)
+def test_tag_arrays_identical(seed):
+    fast, slow = fastcore.TagArray(), pycore.TagArray()
+    tf, ts = [], []
+    _drive_tags(fast, random.Random(seed), tf)
+    _drive_tags(slow, random.Random(seed), ts)
+    assert tf == ts
+    assert bytes(fast._tags) == bytes(slow._tags)
+    assert fast._readable == slow._readable
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fallback_tags_match_dict_model(seed):
+    """Oracle check that runs even without numpy installed."""
+    ta = pycore.TagArray()
+    model = {}
+    rng = random.Random(seed)
+    for _ in range(400):
+        block = rng.randrange(200)
+        tag = rng.choice([0, 1, 2])
+        ta.set_tag(block, tag)
+        if tag:
+            model[block] = tag
+        else:
+            model.pop(block, None)
+        probe = rng.randrange(200)
+        assert ta.tag(probe) == model.get(probe, 0)
+        assert ta.permits_read(probe) == (probe in model)
+    assert list(ta.blocks_with_access()) == sorted(model.items())
+
+
+# ----------------------------------------------------------------------
+# vector clocks -- cross the fastcore vectorization threshold both ways
+# ----------------------------------------------------------------------
+@needs_fast
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n", [4, 16, 63, 64, 128])
+def test_vector_clock_kernels_identical(seed, n):
+    rng = random.Random(seed * 1000 + n)
+    vf = array("q", (rng.randrange(100) for _ in range(n)))
+    vs = array("q", vf)
+    for _ in range(50):
+        other = array("q", (rng.randrange(120) for _ in range(n)))
+        fastcore.vc_merge_into(vf, other)
+        pycore.vc_merge_into(vs, other)
+        assert vf == vs
+        probe = array("q", (rng.randrange(130) for _ in range(n)))
+        assert fastcore.vc_dominates(vf, probe) == pycore.vc_dominates(vs, probe)
+
+
+def test_fallback_vc_matches_builtin_max():
+    rng = random.Random(3)
+    v = array("q", (rng.randrange(50) for _ in range(32)))
+    other = array("q", (rng.randrange(50) for _ in range(32)))
+    expect = [max(a, b) for a, b in zip(v, other)]
+    pycore.vc_merge_into(v, other)
+    assert list(v) == expect
+    assert pycore.vc_dominates(v, other)
+    assert pycore.vc_dominates(v, v)
+
+
+# ----------------------------------------------------------------------
+# twin/diff run extraction
+# ----------------------------------------------------------------------
+def _mutate(rng: random.Random, base: bytearray) -> bytearray:
+    """One of the real-world dirty-block shapes, randomized."""
+    dirty = bytearray(base)
+    shape = rng.randrange(5)
+    n = len(dirty)
+    if shape == 0:
+        pass  # unchanged
+    elif shape == 1:  # one contiguous run
+        start = rng.randrange(n)
+        stop = min(n, start + rng.randrange(1, 64))
+        for i in range(start, stop):
+            dirty[i] ^= 0x5A
+    elif shape == 2:  # scattered single bytes
+        for _ in range(rng.randrange(1, 20)):
+            dirty[rng.randrange(n)] ^= 0xFF
+    elif shape == 3:  # word-aligned strided writes
+        for i in range(0, n, 8 * rng.randrange(1, 5)):
+            dirty[i] = (dirty[i] + 1) & 0xFF
+    else:  # tail bytes (exercises the residual-byte scan)
+        for i in range(max(0, n - rng.randrange(1, 9)), n):
+            dirty[i] ^= 0x01
+    return dirty
+
+
+def _norm(runs):
+    return [(off, bytes(data)) for off, data in runs]
+
+
+@needs_fast
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("size", [1, 7, 64, 1024, 4096])
+def test_diff_runs_identical(seed, size):
+    rng = random.Random(seed * 10 + size)
+    twin = bytearray(rng.randrange(256) for _ in range(size))
+    for _ in range(20):
+        dirty = _mutate(rng, twin)
+        rf = _norm(fastcore.diff_runs(bytes(dirty), bytes(twin)))
+        rs = _norm(pycore.diff_runs(bytes(dirty), bytes(twin)))
+        assert rf == rs
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fallback_diff_runs_roundtrip_and_shape(seed):
+    rng = random.Random(seed)
+    for size in (1, 9, 64, 1000):
+        twin = bytearray(rng.randrange(256) for _ in range(size))
+        for _ in range(10):
+            dirty = _mutate(rng, twin)
+            runs = pycore.diff_runs(bytes(dirty), bytes(twin))
+            # runs reconstruct the dirty copy from the twin
+            rebuilt = bytearray(twin)
+            for off, data in runs:
+                rebuilt[off : off + len(data)] = data
+            assert rebuilt == dirty
+            # runs are ascending, non-empty, non-adjacent (maximal)
+            prev_end = -2
+            for off, data in runs:
+                assert len(data) > 0
+                assert off > prev_end + 1
+                prev_end = off + len(data) - 1
+
+
+# ----------------------------------------------------------------------
+# block buffers, packing, typed views
+# ----------------------------------------------------------------------
+@needs_fast
+@pytest.mark.parametrize("seed", SEEDS)
+def test_buffer_kernels_identical(seed):
+    rng = random.Random(seed)
+    for _ in range(50):
+        n = rng.randrange(1, 300)
+        raw = bytes(rng.randrange(256) for _ in range(n))
+        bf, bs = fastcore.frombytes(raw), pycore.frombytes(raw)
+        start = rng.randrange(n)
+        stop = rng.randrange(start, n + 1)
+        value = rng.randrange(256)
+        fastcore.fill(bf, start, stop, value)
+        pycore.fill(bs, start, stop, value)
+        assert fastcore.tobytes(bf) == pycore.tobytes(bs)
+        assert fastcore.buf_eq(bf, fastcore.frombytes(fastcore.tobytes(bf)))
+        assert pycore.buf_eq(bs, pycore.frombytes(pycore.tobytes(bs)))
+        assert fastcore.tobytes(fastcore.copy_of(bf)) == pycore.tobytes(
+            pycore.copy_of(bs)
+        )
+        assert bytes(fastcore.as_payload(raw)) == bytes(pycore.as_payload(raw))
+
+
+@needs_fast
+@pytest.mark.parametrize("spec", ["float64", "int64", "int32", "uint8"])
+def test_pack_and_typed_view_identical(spec):
+    dt = dtypes.dtype(spec)
+    values = [0, 1, 17, 100]
+    assert bytes(fastcore.pack_values(values, (4,), dt)) == bytes(
+        pycore.pack_values(values, (4,), dt)
+    )
+    assert bytes(fastcore.pack_scalar(42, dt)) == bytes(pycore.pack_scalar(42, dt))
+    raw = pycore.pack_values(values, (4,), dt)
+    vf = fastcore.typed_view(fastcore.frombytes(raw), dt)
+    vs = pycore.typed_view(pycore.frombytes(raw), dt)
+    assert list(vf) == list(vs) == values
+    assert vf.sum() == vs.sum()
+
+
+def test_pack_values_shape_checked():
+    dt = dtypes.dtype("float64")
+    with pytest.raises(ValueError):
+        pycore.pack_values([1.0, 2.0], (3,), dt)
+    if fastcore is not None:
+        with pytest.raises(ValueError):
+            fastcore.pack_values([1.0, 2.0], (3,), dt)
+
+
+# ----------------------------------------------------------------------
+# sequence ring vs a dict reference model
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seq_ring_matches_dict_model(seed):
+    rng = random.Random(seed)
+    ring, model = SeqRing(4), {}
+    cursor = 0
+    for _ in range(500):
+        op = rng.randrange(3)
+        if op == 0:  # out-of-order arrival inside a window above cursor
+            seq = cursor + rng.randrange(64)
+            assert ring.put(seq, ("msg", seq)) == (seq not in model)
+            model.setdefault(seq, ("msg", seq))
+        elif op == 1 and model:  # drain one held sequence
+            seq = rng.choice(list(model))
+            assert ring.pop(seq) == model.pop(seq)
+            cursor = max(cursor, seq + 1)
+        else:
+            probe = cursor + rng.randrange(64)
+            assert (probe in ring) == (probe in model)
+        assert len(ring) == len(model)
+    assert list(ring.items()) == sorted(model.items())
+
+
+def test_seq_ring_pop_missing_raises():
+    ring = SeqRing()
+    ring.put(5, "x")
+    with pytest.raises(KeyError):
+        ring.pop(6)
+
+
+def test_seq_ring_grows_past_collisions():
+    ring = SeqRing(2)
+    # 0 and 1024 collide at every small power of two; the ring must
+    # keep both live.
+    assert ring.put(0, "a") and ring.put(1024, "b") and ring.put(2048, "c")
+    assert ring.pop(1024) == "b"
+    assert 0 in ring and 2048 in ring and 1024 not in ring
+
+
+# ----------------------------------------------------------------------
+# backend selection and end-to-end parity
+# ----------------------------------------------------------------------
+def _spawn(env_value):
+    env = dict(os.environ, REPRO_SIMCORE=env_value)
+    out = subprocess.run(
+        [sys.executable, "-c", "import repro.simcore as s; print(s.BACKEND)"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def test_env_var_selects_backend():
+    assert _spawn("python") == "python"
+    if fastcore is not None:
+        assert _spawn("fast") == "fast"
+        assert _spawn("auto") == "fast"
+    assert BACKEND in ("fast", "python")
+
+
+@needs_fast
+def test_full_cell_sha_parity_across_backends():
+    """The end-to-end contract: one tiny LU cell produces bit-identical
+    stats under the fast backend and the pure-python fallback."""
+    code = (
+        "from repro.perf.micros import full_cell_sc;"
+        "print(full_cell_sc()[1])"
+    )
+    shas = {}
+    for backend in ("fast", "python"):
+        env = dict(os.environ, REPRO_SIMCORE=backend)
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        shas[backend] = out.stdout.strip()
+    assert shas["fast"] == shas["python"]
+    assert len(shas["fast"]) == 16

@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Fast-vs-fallback stats-sha fingerprint matrix.
+
+Runs every cell of a fixed evaluation matrix once under the numpy
+simcore backend and once under the pure-python fallback (each in its
+own subprocess, since the backend is chosen at import) and
+cross-tabulates the stats hashes.  The two backends are contractually
+bit-identical -- any sha mismatch is a correctness bug in one of them,
+so the tool exits non-zero on the first divergent cell.
+
+Matrix shapes:
+
+* ``--smoke`` -- the three ``full_cell_*`` perf-micro shapes (lu x
+  sc/swlrc/hlrc at granularity 1024).  Fast enough for every PR.
+* default -- the full 99-cell matrix: all 12 apps x 3 protocols at the
+  default granularity (36), the granularity sweep 3 apps x 5 protocols
+  x 4 granularities at 8 nodes (60), and the interrupt notification
+  mechanism on lu x 3 protocols (3).  Nightly CI runs this and uploads
+  the cross-tab JSON as an artifact.
+
+Usage::
+
+    python tools/fingerprint_matrix.py --smoke --out fingerprints.json
+    python tools/fingerprint_matrix.py -j 4 --out fingerprints.json
+    python tools/fingerprint_matrix.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, List
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+PROTOCOLS_3 = ("sc", "swlrc", "hlrc")
+PROTOCOLS_5 = ("sc", "swlrc", "hlrc", "dc", "erc")
+GRANULARITIES = (64, 256, 1024, 4096)
+#: apps carrying the granularity sweep (cheap + diverse sharing shapes)
+SWEEP_APPS = ("lu", "fft", "ocean-rowwise")
+SCALE = "tiny"
+BACKENDS = ("fast", "python")
+
+
+def build_cells(smoke: bool) -> List[Dict]:
+    if smoke:
+        return [
+            dict(app="lu", protocol=p, granularity=1024,
+                 mechanism="polling", nprocs=16)
+            for p in PROTOCOLS_3
+        ]
+    from repro.apps import APP_NAMES
+
+    cells: List[Dict] = []
+    for app in APP_NAMES:  # 12 apps x 3 protocols = 36
+        for p in PROTOCOLS_3:
+            cells.append(dict(app=app, protocol=p, granularity=1024,
+                              mechanism="polling", nprocs=16))
+    for app in SWEEP_APPS:  # 3 x 5 x 4 = 60 (8 nodes: disjoint from above)
+        for p in PROTOCOLS_5:
+            for g in GRANULARITIES:
+                cells.append(dict(app=app, protocol=p, granularity=g,
+                                  mechanism="polling", nprocs=8))
+    for p in PROTOCOLS_3:  # interrupt mechanism = 3
+        cells.append(dict(app="lu", protocol=p, granularity=1024,
+                          mechanism="interrupt", nprocs=16))
+    return cells
+
+
+def cell_label(c: Dict) -> str:
+    return (
+        f"{c['app']}/{c['protocol']}-{c['granularity']}"
+        f"/{c['mechanism']}/p{c['nprocs']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# worker: runs in a subprocess with REPRO_SIMCORE already set
+# ----------------------------------------------------------------------
+def run_worker() -> None:
+    cells = json.load(sys.stdin)
+    from repro.harness.experiment import RunConfig, run_experiment
+
+    out = {}
+    for c in cells:
+        cfg = RunConfig(app=c["app"], protocol=c["protocol"],
+                        granularity=c["granularity"],
+                        mechanism=c["mechanism"], nprocs=c["nprocs"],
+                        scale=SCALE)
+        result = run_experiment(cfg)
+        blob = json.dumps(result.stats.to_dict(), sort_keys=True,
+                          default=float)
+        out[cell_label(c)] = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    json.dump(out, sys.stdout)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def _spawn_shards(backend: str, cells: List[Dict], jobs: int):
+    """Start ``jobs`` worker subprocesses over round-robin cell shards."""
+    procs = []
+    for j in range(jobs):
+        shard = cells[j::jobs]
+        if not shard:
+            continue
+        env = dict(os.environ, REPRO_SIMCORE=backend)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"),
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=env,
+        )
+        proc.stdin.write(json.dumps(shard))
+        proc.stdin.close()
+        procs.append(proc)
+    return procs
+
+
+def _collect(procs) -> Dict[str, str]:
+    shas: Dict[str, str] = {}
+    for proc in procs:
+        out = proc.stdout.read()
+        err = proc.stderr.read()
+        if proc.wait() != 0:
+            sys.stderr.write(err)
+            raise SystemExit(f"worker exited {proc.returncode}")
+        shas.update(json.loads(out))
+    return shas
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="3-cell PR smoke instead of the 99-cell matrix")
+    ap.add_argument("--out", help="write the cross-tab JSON here")
+    ap.add_argument("-j", "--jobs", type=int,
+                    default=min(4, os.cpu_count() or 1),
+                    help="worker subprocesses per backend")
+    ap.add_argument("--list", action="store_true",
+                    help="print the cell labels and exit")
+    ap.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.worker:
+        run_worker()
+        return 0
+
+    cells = build_cells(args.smoke)
+    if args.list:
+        for c in cells:
+            print(cell_label(c))
+        print(f"{len(cells)} cells")
+        return 0
+
+    print(f"fingerprint matrix: {len(cells)} cells x "
+          f"{len(BACKENDS)} backends, {args.jobs} worker(s) each")
+    by_backend = {}
+    running = {b: _spawn_shards(b, cells, args.jobs) for b in BACKENDS}
+    for backend, procs in running.items():
+        by_backend[backend] = _collect(procs)
+
+    rows = []
+    mismatches = 0
+    for c in cells:
+        label = cell_label(c)
+        fast, python = by_backend["fast"][label], by_backend["python"][label]
+        match = fast == python
+        mismatches += not match
+        rows.append({"cell": label, "fast": fast, "python": python,
+                     "match": match})
+        if not match:
+            print(f"MISMATCH  {label}: fast={fast} python={python}")
+
+    report = {
+        "schema": 1,
+        "scale": SCALE,
+        "cells": len(cells),
+        "mismatches": mismatches,
+        "matrix": rows,
+    }
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"cross-tab written to {args.out}")
+    print(f"{len(cells) - mismatches}/{len(cells)} cells bit-identical "
+          f"across backends")
+    return 1 if mismatches else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

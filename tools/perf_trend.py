@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Rolling perf-trend log for the simulator-core micro suite.
+
+The nightly CI job runs ``repro-dsm perf --out bench-nightly.json``,
+restores the previous trend file from the workflow cache, appends one
+entry per run, and uploads the pruned file as the ``perf-trend``
+artifact.  Each line of the JSONL file is one run::
+
+    {"sha": "1f0c0a...", "date": "2026-08-08", "pyversion": "3.12.3",
+     "calibration_ms": 42.2,
+     "micros": {"engine_churn": {"median_ms": 36.1,
+                                 "events_per_sec": 1107000.0}, ...}}
+
+Subcommands:
+
+* ``append`` -- fold one bench JSON into the trend file (newest last,
+  pruned to ``--keep`` entries);
+* ``report`` -- render the trend as a per-micro table and flag drift:
+  a latest median slower than the window median by more than
+  ``--drift`` (after calibration scaling) prints a ``DRIFT`` marker
+  and, under ``--strict``, fails the job.
+
+Usage::
+
+    python tools/perf_trend.py append --bench bench-nightly.json \\
+        --trend perf-trend.jsonl --sha "$GITHUB_SHA"
+    python tools/perf_trend.py report --trend perf-trend.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import statistics
+import sys
+from typing import Dict, List
+
+#: throughput keys copied from the bench schema into trend entries
+_RATE_KEYS = ("events_per_sec", "ops_per_sec", "runs_per_sec")
+
+
+def _load_trend(path: str) -> List[Dict]:
+    try:
+        with open(path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+    except FileNotFoundError:
+        return []
+
+
+def _write_trend(path: str, entries: List[Dict]) -> None:
+    with open(path, "w") as fh:
+        for e in entries:
+            fh.write(json.dumps(e, sort_keys=True) + "\n")
+
+
+def append(args) -> int:
+    with open(args.bench) as fh:
+        bench = json.load(fh)
+    micros = {}
+    for name, m in bench.get("micros", {}).items():
+        row = {"median_ms": m["median_ms"]}
+        for key in _RATE_KEYS:
+            if key in m:
+                row[key] = m[key]
+        micros[name] = row
+    entry = {
+        "sha": args.sha or "unknown",
+        "date": args.date or datetime.date.today().isoformat(),
+        "pyversion": bench.get("pyversion"),
+        "calibration_ms": bench.get("calibration", {}).get("spin_ms"),
+        "micros": micros,
+    }
+    entries = _load_trend(args.trend)
+    entries.append(entry)
+    entries = entries[-args.keep:]
+    _write_trend(args.trend, entries)
+    print(f"trend: {len(entries)} entrie(s) in {args.trend} "
+          f"(latest {entry['sha'][:12]} @ {entry['date']})")
+    return 0
+
+
+def _calibrated(entry: Dict, micro: str, ref_cal: float) -> float:
+    """Median scaled to the reference machine speed via calibration."""
+    cal = entry.get("calibration_ms") or ref_cal
+    m = entry["micros"].get(micro)
+    if m is None:
+        return float("nan")
+    return m["median_ms"] * (ref_cal / cal if cal else 1.0)
+
+
+def report(args) -> int:
+    entries = _load_trend(args.trend)
+    if not entries:
+        print(f"trend file {args.trend} is empty")
+        return 0
+    window = entries[-args.window:]
+    latest = window[-1]
+    ref_cal = latest.get("calibration_ms") or 1.0
+    names = sorted(
+        {name for e in window for name in e.get("micros", {})}
+    )
+    print(f"perf trend: {len(entries)} run(s) total, "
+          f"window of {len(window)}, latest {latest['sha'][:12]} "
+          f"@ {latest['date']}")
+    print(f"  {'micro':18s} {'window-med':>11s} {'latest':>9s} "
+          f"{'ratio':>6s}  rate (latest)")
+    drifted = []
+    for name in names:
+        series = [
+            _calibrated(e, name, ref_cal)
+            for e in window
+            if name in e.get("micros", {})
+        ]
+        cur = series[-1]
+        med = statistics.median(series)
+        ratio = cur / med if med else float("inf")
+        mark = ""
+        if len(series) >= args.min_runs and ratio > 1.0 + args.drift:
+            mark = "  DRIFT"
+            drifted.append(name)
+        m = latest["micros"].get(name, {})
+        rate = "  ".join(
+            f"{m[k]:,.0f} {k.replace('_per_sec', '')}/s"
+            for k in _RATE_KEYS if k in m
+        )
+        print(f"  {name:18s} {med:9.2f}ms {cur:7.2f}ms "
+              f"x{ratio:5.3f}  {rate}{mark}")
+    if drifted:
+        print(f"drift beyond {args.drift:.0%} of the window median: "
+              f"{', '.join(drifted)}")
+        if args.strict:
+            return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    ap_a = sub.add_parser("append", help="fold one bench JSON into the log")
+    ap_a.add_argument("--bench", required=True,
+                      help="suite output (repro-dsm perf --out ...)")
+    ap_a.add_argument("--trend", required=True, help="trend JSONL file")
+    ap_a.add_argument("--sha", default=None, help="commit sha of the run")
+    ap_a.add_argument("--date", default=None,
+                      help="ISO date override (default: today)")
+    ap_a.add_argument("--keep", type=int, default=120,
+                      help="max entries retained (default 120)")
+    ap_a.set_defaults(fn=append)
+
+    ap_r = sub.add_parser("report", help="render the trend + flag drift")
+    ap_r.add_argument("--trend", required=True, help="trend JSONL file")
+    ap_r.add_argument("--window", type=int, default=30,
+                      help="runs considered for the window median")
+    ap_r.add_argument("--drift", type=float, default=0.25,
+                      help="flag latest/window-median above 1+this")
+    ap_r.add_argument("--min-runs", type=int, default=5,
+                      help="suppress drift marks below this many runs")
+    ap_r.add_argument("--strict", action="store_true",
+                      help="exit 1 when any micro drifts")
+    ap_r.set_defaults(fn=report)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
