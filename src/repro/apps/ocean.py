@@ -96,7 +96,15 @@ class OceanRowwise(OceanBase):
         # reading the neighbours' boundary rows again (they changed in
         # the other colour's pass).
         half_cost = POINT_US * my_rows * self.n / 2.0
-        boundary_rows = [lo, hi - 1] if my_rows > 1 else [lo]
+        # More ranks than rows (tiny grids on big machines) leaves the
+        # tail ranks with an empty [lo, lo) slice; they own no rows and
+        # only participate in the barriers.
+        if my_rows > 1:
+            boundary_rows = [lo, hi - 1]
+        elif my_rows == 1:
+            boundary_rows = [lo]
+        else:
+            boundary_rows = []
         interior_rows = my_rows - len(boundary_rows)
         boundary_chunk_cost = (
             POINT_US * self.n / 2.0 / self.BOUNDARY_CHUNKS
@@ -111,9 +119,9 @@ class OceanRowwise(OceanBase):
                 with dsm.assume_disjoint(
                     "red-black half-sweeps read the other colour"
                 ):
-                    if lo > 0:
+                    if my_rows > 0 and lo > 0:
                         yield from dsm.touch_read(self.row_addr(lo - 1), self.row_bytes)
-                    if hi < self.n:
+                    if my_rows > 0 and hi < self.n:
                         yield from dsm.touch_read(self.row_addr(hi), self.row_bytes)
                 # Interior rows relax in bulk (their pages are private).
                 if interior_rows > 0:

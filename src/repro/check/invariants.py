@@ -14,6 +14,11 @@ block only and skipping blocks with a transaction in flight:
   excludes other sharers.
 * SW-LRC -- a single writable copy; node-local ownership
   (``owned``) is held by at most one node and covers every RW tag.
+* Tardis -- ``wts <= rts`` on every settled entry; both timestamps
+  monotonically non-decreasing (lease monotonicity); a single writable
+  copy agreeing with the recorded owner; every read-only copy away
+  from an unowned home is covered by a recorded lease bounded by the
+  block's ``rts``.
 
 **at every release boundary** (the ``on_release_done`` hook, firing
 after ``release_prepare`` for both lock releases and barrier arrivals):
@@ -34,6 +39,9 @@ after ``release_prepare`` for both lock releases and barrier arrivals):
   fresh (one-hop read service correctness).
 * HLRC -- every noticed block is invalidated unless this node is the
   writer or the block's home.
+* Tardis -- pts advance on acquire: the node's program timestamp is at
+  least the granter's shipped ``pts``, and no cached lease older than
+  the new ``pts`` survives the expiry scan.
 
 ``end_of_run`` re-scans the interval logs and sweeps the full SC
 directory once.  Like every hook, the checker observes only: a checked
@@ -94,10 +102,15 @@ class InvariantChecker(Hooks):
         self._scanned = [0] * self.n
         #: (author node, block) -> last notice version seen in its log
         self._last_version: Dict[Tuple[int, int], int] = {}
+        #: (block) -> last settled (wts, rts) seen (tardis monotonicity)
+        self._last_ts: Dict[int, Tuple[int, int]] = {}
+        #: per-node last observed program timestamp (tardis)
+        self._last_pts = [0] * self.n
         name = self.p.name
         self._per_message = {
             "sc": self._msg_sc,
             "swlrc": self._msg_swlrc,
+            "tardis": self._msg_tardis,
         }.get(name)
         self._at_release = {
             "swlrc": self._release_swlrc,
@@ -106,6 +119,7 @@ class InvariantChecker(Hooks):
         self._at_sync = {
             "swlrc": self._sync_swlrc,
             "hlrc": self._sync_hlrc,
+            "tardis": self._sync_tardis,
         }.get(name)
 
     # ------------------------------------------------------------------
@@ -226,6 +240,64 @@ class InvariantChecker(Hooks):
                     block=block,
                 )
 
+    def _msg_tardis(self, block: int) -> None:
+        p = self.p
+        e = p.entries.get(block)
+        if e is None or e.busy or e.pending:
+            return
+        if e.wts > e.rts:
+            self._report(
+                "wts-le-rts",
+                f"write timestamp {e.wts} above read lease {e.rts}",
+                block=block,
+            )
+        last = self._last_ts.get(block)
+        if last is not None and (e.wts < last[0] or e.rts < last[1]):
+            self._report(
+                "lease-monotonic",
+                f"timestamps went backwards: {last} -> ({e.wts}, {e.rts})",
+                block=block,
+            )
+        self._last_ts[block] = (e.wts, e.rts)
+        tags = self._tags(block)
+        rw = [i for i, t in enumerate(tags) if t == RW]
+        if len(rw) > 1:
+            self._report(
+                "single-writable-copy",
+                f"multiple RW copies on nodes {rw}",
+                block=block,
+            )
+        if rw and e.owner != rw[0]:
+            self._report(
+                "owner-tag-agreement",
+                f"node {rw[0]} holds RW but the recorded owner is {e.owner}",
+                node=rw[0],
+                block=block,
+            )
+        home_id = p.home.home_or_static(block)
+        for i, t in enumerate(tags):
+            if t in (INV, RW):
+                continue
+            lease = p.lease[i].get(block)
+            if lease is None:
+                if i == home_id and e.owner in (None, i):
+                    # The unowned home reads its own memory -- always
+                    # current, no lease needed.
+                    continue
+                self._report(
+                    "reader-holds-lease",
+                    "read-only copy without a recorded lease",
+                    node=i,
+                    block=block,
+                )
+            elif lease > e.rts:
+                self._report(
+                    "lease-bounded-by-rts",
+                    f"node lease {lease} exceeds the block's rts {e.rts}",
+                    node=i,
+                    block=block,
+                )
+
     # ------------------------------------------------------------------
     # release-boundary checks (on_release_done hook)
     # ------------------------------------------------------------------
@@ -309,12 +381,12 @@ class InvariantChecker(Hooks):
     # ------------------------------------------------------------------
     def on_sync_applied(self, node_id: int, payload) -> None:
         if self._at_sync is not None and payload:
-            self._at_sync(node_id, payload.get("notices") or ())
+            self._at_sync(node_id, payload)
 
-    def _sync_swlrc(self, node_id: int, notices) -> None:
+    def _sync_swlrc(self, node_id: int, payload) -> None:
         p = self.p
         access = self.m.nodes[node_id].access
-        for wn in notices:
+        for wn in payload.get("notices") or ():
             if wn.owner == node_id:
                 continue
             if access.tag(wn.block) != INV:
@@ -337,10 +409,10 @@ class InvariantChecker(Hooks):
                     block=wn.block,
                 )
 
-    def _sync_hlrc(self, node_id: int, notices) -> None:
+    def _sync_hlrc(self, node_id: int, payload) -> None:
         p = self.p
         access = self.m.nodes[node_id].access
-        for wn in notices:
+        for wn in payload.get("notices") or ():
             if wn.owner == node_id or p._is_home(node_id, wn.block):
                 continue
             tag = access.tag(wn.block)
@@ -351,6 +423,37 @@ class InvariantChecker(Hooks):
                     f"node {wn.owner}",
                     node=node_id,
                     block=wn.block,
+                )
+
+    def _sync_tardis(self, node_id: int, payload) -> None:
+        p = self.p
+        shipped = payload.get("pts")
+        if shipped is None:
+            return
+        pts = p.pts[node_id]
+        if pts < shipped:
+            self._report(
+                "pts-advance-on-acquire",
+                f"program timestamp {pts} below the granter's shipped "
+                f"pts {shipped}",
+                node=node_id,
+            )
+        if pts < self._last_pts[node_id]:
+            self._report(
+                "pts-monotonic",
+                f"program timestamp went backwards: "
+                f"{self._last_pts[node_id]} -> {pts}",
+                node=node_id,
+            )
+        self._last_pts[node_id] = pts
+        for block, lease in p.lease[node_id].items():
+            if lease < pts:
+                self._report(
+                    "stale-lease-expired",
+                    f"lease {lease} survived the expiry scan past "
+                    f"pts {pts}",
+                    node=node_id,
+                    block=block,
                 )
 
     # ------------------------------------------------------------------
@@ -371,3 +474,6 @@ class InvariantChecker(Hooks):
                 blocks.update(b for b, _ in node.access.blocks_with_access())
             for block in sorted(blocks):
                 self._msg_sc(block)
+        elif self.p.name == "tardis":
+            for block in sorted(self.p.entries):
+                self._msg_tardis(block)

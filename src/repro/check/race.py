@@ -8,9 +8,10 @@ detector reconstructs the happens-before relation from the
 instrumentation hooks (:mod:`repro.hooks`) and reports every
 conflicting access pair it cannot order, in the DJIT+ style:
 
-* each node carries a vector clock (reusing
-  :class:`~repro.core.timestamps.VectorClock`), advanced at releases
-  and barrier entries;
+* each node carries a vector clock (through the
+  :class:`~repro.core.timestamps.Clock` interface -- dense at paper
+  scale, sparse on wide machines), advanced at releases and barrier
+  entries;
 * each lock carries a clock merged from every releaser and folded into
   each acquirer (the transitive lock-chain ordering);
 * a barrier episode stashes every participant's entry clock and folds
@@ -48,7 +49,7 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.timestamps import VectorClock
+from repro.core.timestamps import Clock, make_clock
 from repro.hooks import Hooks
 
 #: named detection units; "block" resolves to the machine's coherence
@@ -188,14 +189,14 @@ class RaceDetector(Hooks):
         self.unit_bytes = unit_bytes
         self.max_reports = max_reports
         self.engine = engine
-        self._clock = [VectorClock(n_nodes) for _ in range(n_nodes)]
+        self._clock = [make_clock(n_nodes) for _ in range(n_nodes)]
         for i, c in enumerate(self._clock):
             # Epochs start at 1 so a first-epoch access is distinguishable
             # from "never synchronized with" (component 0).
             c.tick(i)
-        self._lock_clock: Dict[int, VectorClock] = {}
+        self._lock_clock: Dict[int, Clock] = {}
         #: (barrier_id, episode) -> (entry clocks, exit countdown)
-        self._episodes: Dict[Tuple[int, int], Tuple[List[VectorClock], List[int]]] = {}
+        self._episodes: Dict[Tuple[int, int], Tuple[List[Clock], List[int]]] = {}
         #: unit -> node -> last write / last read epoch
         self._writes: Dict[int, Dict[int, _Epoch]] = {}
         self._reads: Dict[int, Dict[int, _Epoch]] = {}
@@ -218,7 +219,7 @@ class RaceDetector(Hooks):
         if size <= 0:
             return
         clock = self._clock[node_id]
-        my = clock.v[node_id]
+        my = clock[node_id]
         exempt = self._exempt_depth[node_id] > 0
         site = AccessSite(
             node=node_id,
@@ -237,13 +238,13 @@ class RaceDetector(Hooks):
             wmap = writes.get(unit)
             if wmap:
                 for other, epoch in wmap.items():
-                    if other != node_id and epoch.clock > clock.v[other]:
+                    if other != node_id and epoch.clock > clock[other]:
                         self._report(unit, epoch, site, lo, hi, exempt)
             if write:
                 rmap = reads.get(unit)
                 if rmap:
                     for other, epoch in rmap.items():
-                        if other != node_id and epoch.clock > clock.v[other]:
+                        if other != node_id and epoch.clock > clock[other]:
                             self._report(unit, epoch, site, lo, hi, exempt)
             target = writes if write else reads
             umap = target.get(unit)
@@ -307,7 +308,7 @@ class RaceDetector(Hooks):
     def on_acquire(self, node_id: int, lock_id: int) -> None:
         lock_clock = self._lock_clock.get(lock_id)
         if lock_clock is not None:
-            self._clock[node_id].merge(lock_clock.v)
+            self._clock[node_id].merge(lock_clock)
         self._context[node_id] = (
             f"after acquire(lock {lock_id}) @t={self.engine.now:.1f}us"
         )
@@ -316,8 +317,8 @@ class RaceDetector(Hooks):
         clock = self._clock[node_id]
         lock_clock = self._lock_clock.get(lock_id)
         if lock_clock is None:
-            lock_clock = self._lock_clock[lock_id] = VectorClock(len(clock))
-        lock_clock.merge(clock.v)
+            lock_clock = self._lock_clock[lock_id] = make_clock(len(clock))
+        lock_clock.merge(clock)
         clock.tick(node_id)
         self._context[node_id] = (
             f"after release(lock {lock_id}) @t={self.engine.now:.1f}us"
@@ -338,7 +339,7 @@ class RaceDetector(Hooks):
         entry_clocks, exits = rec
         clock = self._clock[node_id]
         for entry in entry_clocks:
-            clock.merge(entry.v)
+            clock.merge(entry)
         clock.tick(node_id)
         # Every participant entered before the first exit (the manager
         # broadcasts only once all arrivals are in), so the entry list

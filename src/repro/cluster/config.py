@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 
 #: The coherence granularities evaluated by the paper.
@@ -204,10 +205,39 @@ def switch_of(node_id: int) -> int:
     return node_id // 6
 
 
-def hops_between(a: int, b: int) -> int:
+#: widest machine the line-of-switches topology is kept for (the
+#: paper's 16 nodes and its anticipated 32-node configuration); larger
+#: machines switch to the tiered fabric below
+LINE_TOPOLOGY_MAX_NODES = 32
+
+#: leaf switches per spine group / spine groups per core group in the
+#: tiered fabric (8-port crossbars throughout)
+_LEAVES_PER_SPINE = 8
+
+
+def hops_between(a: int, b: int, n_nodes: Optional[int] = None) -> int:
     """Number of switch-to-switch hops between two nodes.
 
-    Switches form a line, so the hop count is the switch-index
-    distance (0-2 for 16 nodes, up to 5 for 32).
+    Up to 32 nodes (``n_nodes`` omitted or small) switches form a line
+    and the hop count is the switch-index distance -- 0-2 for the
+    paper's 16 nodes, up to 5 for 32, exactly as the seed modeled it.
+
+    A line does not scale (1024 nodes would mean a 170-hop diameter no
+    real Myrinet install ever had), so for larger machines the fabric
+    grows fat-tree-ish tiers of the same 8-port crossbars: leaf
+    switches of 6 hosts each, 8 leaves per spine switch, 8 spines per
+    core switch.  Hop counts: same leaf 0, same spine group 2
+    (leaf-spine-leaf), same core group 4, across core groups 6 --
+    the diameter stays constant in N, as in real multistage fabrics.
     """
-    return abs(switch_of(a) - switch_of(b))
+    sa, sb = switch_of(a), switch_of(b)
+    if n_nodes is None or n_nodes <= LINE_TOPOLOGY_MAX_NODES:
+        return abs(sa - sb)
+    if sa == sb:
+        return 0
+    pa, pb = sa // _LEAVES_PER_SPINE, sb // _LEAVES_PER_SPINE
+    if pa == pb:
+        return 2
+    if pa // _LEAVES_PER_SPINE == pb // _LEAVES_PER_SPINE:
+        return 4
+    return 6

@@ -1,4 +1,4 @@
-"""The paper's primary contribution: the three coherence protocols.
+"""The coherence protocols: the paper's three, plus extensions.
 
 * :class:`~repro.core.sc.SCProtocol` -- sequential consistency
   (Stache-style home-based directory with recall/invalidate).
@@ -9,18 +9,37 @@
   lazy release consistency (twin/diff, eager flush to home at release,
   whole-block fetch on miss).
 
-All three share the interval/vector-timestamp machinery in
-:mod:`repro.core.timestamps` (only the LRC protocols use it) and the
-message-routing/home-forwarding helpers in
-:mod:`repro.core.protocol`.
+Extensions beyond the paper:
+
+* :class:`~repro.core.delayed.DelayedSCProtocol` (``dc``) and
+  :class:`~repro.core.erc.ERCProtocol` (``erc``) -- the sensitivity-
+  study protocols;
+* :class:`~repro.core.tardis.TardisProtocol` (``tardis``) --
+  timestamp-lease coherence with O(1) per-block metadata (no
+  directories, no vector clocks, no invalidations), the scaling
+  study's fourth protocol.
+
+All of them share the message-routing/home-forwarding helpers in
+:mod:`repro.core.protocol`; the LRC protocols additionally share the
+interval/vector-timestamp machinery in :mod:`repro.core.timestamps`.
+Importing this package registers every protocol with
+:mod:`repro.core.registry`, the single name -> implementation mapping
+consumers (CLI, harness, model checker) derive their choices from.
 """
 
 from repro.core.protocol import PROTOCOLS, CoherenceProtocol, make_protocol
+from repro.core.registry import (
+    available_protocols,
+    get_protocol,
+    memory_model_of,
+    register_protocol,
+)
 from repro.core.sc import SCProtocol
 from repro.core.swlrc import SWLRCProtocol
 from repro.core.hlrc import HLRCProtocol
 from repro.core.delayed import DelayedSCProtocol
 from repro.core.erc import ERCProtocol
+from repro.core.tardis import TardisProtocol
 
 __all__ = [
     "CoherenceProtocol",
@@ -29,6 +48,11 @@ __all__ = [
     "HLRCProtocol",
     "DelayedSCProtocol",
     "ERCProtocol",
+    "TardisProtocol",
     "PROTOCOLS",
     "make_protocol",
+    "register_protocol",
+    "get_protocol",
+    "available_protocols",
+    "memory_model_of",
 ]

@@ -36,6 +36,10 @@ from repro.net.message import Message
 @register
 class DelayedSCProtocol(SCProtocol):
     name = "dc"
+    #: deferring invalidations opens stale-read windows SC forbids, so
+    #: dc only claims the relaxed contract (matches the pre-registry
+    #: model_of rule: everything but "sc" maps to "lrc")
+    memory_model = "lrc"
 
     #: bound on how long a coherence action may be deferred
     DELAY_US = 200.0

@@ -41,6 +41,7 @@ from repro.sim.process import CountdownLatch, Future
 @register
 class ERCProtocol(CoherenceProtocol):
     name = "erc"
+    memory_model = "lrc"
     uses_notices = False
     touch_on_load = False  # stores migrate homes, as for the LRC protocols
 

@@ -18,19 +18,22 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, List, Set, Tuple
 
 from repro.core.protocol import CoherenceProtocol
-from repro.core.timestamps import IntervalLog, VectorClock, WriteNotice
+from repro.core.timestamps import Clock, IntervalLog, WriteNotice, make_clock
 
 
 class LRCBase(CoherenceProtocol):
     """Intervals, vector timestamps and write-notice plumbing."""
 
+    memory_model = "lrc"
     uses_notices = True
     touch_on_load = False  # a "touch" is a store for the LRC protocols
 
     def __init__(self, machine):
         super().__init__(machine)
         n = machine.params.n_nodes
-        self.vt: List[VectorClock] = [VectorClock(n) for _ in range(n)]
+        # Representation picked by width: dense at paper scale, sparse
+        # above DENSE_CLOCK_MAX (same observable behavior by contract).
+        self.vt: List[Clock] = [make_clock(n) for _ in range(n)]
         self.ilog = IntervalLog(n)
         #: blocks written since the node's last release (notice sources)
         self.dirty: List[Set[int]] = [set() for _ in range(n)]

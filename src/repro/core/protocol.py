@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
+from repro.core import registry as _registry
 from repro.net.message import CONTROL_BYTES, HEADER_BYTES, Message
 from repro.sim.process import Future
 
@@ -35,6 +36,10 @@ class CoherenceProtocol:
     """Shared plumbing for the three protocols."""
 
     name = "base"
+    #: consistency contract for the model checker's litmus catalog:
+    #: "sc" (every outcome sequentially consistent) or "lrc" (writes
+    #: propagate at synchronization).  Registered alongside the class.
+    memory_model = "sc"
     #: True for the LRC protocols: locks/barriers carry write notices
     uses_notices = False
     #: does a load claim an untouched block's home (SC: yes; LRC: no --
@@ -241,20 +246,22 @@ class CoherenceProtocol:
         yield  # pragma: no cover
 
 
-#: registry filled in by repro.core.__init__ imports
-PROTOCOLS: Dict[str, type] = {}
+#: live name -> class view over the registry (legacy alias; the
+#: authoritative store is repro.core.registry, filled in by the
+#: @register decorations the repro.core.__init__ imports trigger)
+PROTOCOLS: Dict[str, type] = _registry.CLASSES
 
 
 def register(cls) -> type:
-    PROTOCOLS[cls.name] = cls
-    return cls
+    """Class decorator: register ``cls`` under its ``name`` attribute,
+    carrying its declared memory model and notice usage into the
+    registry metadata."""
+    return _registry.register_protocol(
+        cls.name, cls,
+        memory_model=cls.memory_model,
+        uses_notices=cls.uses_notices,
+    )
 
 
 def make_protocol(name: str, machine) -> CoherenceProtocol:
-    try:
-        cls = PROTOCOLS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown protocol {name!r}; available: {sorted(PROTOCOLS)}"
-        ) from None
-    return cls(machine)
+    return _registry.get_protocol(name)(machine)

@@ -29,6 +29,10 @@ Subcommands:
   check every schedule against the protocol's memory model and the
   invariant sanitizer; exit 1 on forbidden outcomes or findings
   (budget-capped cells are reported, not failures).
+* ``scale`` -- node-count scaling sweep (:mod:`repro.harness.scale`):
+  speedup and per-block coherence-metadata bytes vs N for every
+  registered protocol, the measured curve behind the O(N)-vs-O(1)
+  metadata separation; exit 1 on checker findings with ``--check``.
 
 The sweeping subcommands also accept ``--check`` to run every matrix
 cell under the checkers (cells with findings are recorded as failed).
@@ -41,6 +45,7 @@ import sys
 
 from repro.apps import APP_NAMES, ORIGINAL_8, VERSION_GROUPS, make_app
 from repro.cluster.config import GRANULARITIES, MachineParams
+from repro.core.registry import available_protocols, scaling_protocols
 from repro.harness.calibration import microbenchmark_rows, table1_rows
 from repro.harness.experiment import RunConfig, run_experiment
 from repro.harness.figures import figure1
@@ -225,7 +230,8 @@ def cmd_classify(args) -> int:
 def cmd_check(args) -> int:
     """Run cells under the checkers in-process; exit 1 on any finding."""
     apps = args.apps.split(",") if args.apps else list(ORIGINAL_8)
-    protocols = args.protocols.split(",") if args.protocols else list(PROTOCOLS)
+    protocols = (args.protocols.split(",") if args.protocols
+                 else list(scaling_protocols()))
     findings = 0
     for app in apps:
         for proto in protocols:
@@ -385,7 +391,7 @@ def cmd_mc(args) -> int:
         return 2
     protocols = (
         args.protocols.split(",") if args.protocols
-        else ["sc", "swlrc", "hlrc"]
+        else list(scaling_protocols())
     )
     grans = [int(g) for g in args.granularity.split(",")]
     events = EventLog(args.events) if args.events else None
@@ -507,15 +513,58 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_scale(args) -> int:
+    """Node-count scaling sweep; exit 1 on checker findings."""
+    from repro.harness.scale import (
+        NODE_COUNTS,
+        SCALE_APPS,
+        SCALE_GRANULARITIES,
+        render_scale_report,
+        scale_sweep,
+    )
+
+    apps = args.apps.split(",") if args.apps else list(SCALE_APPS)
+    protocols = (args.protocols.split(",") if args.protocols
+                 else list(scaling_protocols()))
+    grans = ([int(g) for g in args.granularities.split(",")]
+             if args.granularities else list(SCALE_GRANULARITIES))
+    nodes = ([int(n) for n in args.nodes.split(",")]
+             if args.nodes else list(NODE_COUNTS))
+    report = scale_sweep(
+        apps,
+        protocols=protocols,
+        granularities=grans,
+        node_counts=nodes,
+        scale=args.scale,
+        mechanism=args.mechanism,
+        check=args.check,
+        progress=lambda s: print(f"  running {s}", file=sys.stderr),
+    )
+    text = render_scale_report(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"scaling report written to {args.out}")
+    else:
+        print(text)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"scaling data written to {args.json}", file=sys.stderr)
+    if not report.ok:
+        bad = sum(1 for c in report.cells if c.check_ok is False)
+        print(f"{bad} cell(s) with checker findings", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="repro-dsm", description=__doc__)
     sub = ap.add_subparsers(dest="cmd", required=True)
 
-    from repro.core import PROTOCOLS as ALL_PROTOCOLS
-
     p = sub.add_parser("run", help="run one experiment")
     p.add_argument("app", choices=APP_NAMES)
-    p.add_argument("protocol", choices=sorted(ALL_PROTOCOLS))
+    p.add_argument("protocol", choices=sorted(available_protocols()))
     p.add_argument("granularity", type=int, choices=list(GRANULARITIES))
     _add_common(p)
     p.set_defaults(fn=cmd_run)
@@ -552,7 +601,8 @@ def main(argv=None) -> int:
     p.add_argument("--apps", default=None,
                    help="comma-separated app subset (default: the original 8)")
     p.add_argument("--protocols", default=None,
-                   help="comma-separated protocol subset (default: sc,swlrc,hlrc)")
+                   help="comma-separated protocol subset "
+                        "(default: sc,swlrc,hlrc,tardis)")
     p.add_argument("--granularity", type=int, default=4096,
                    choices=list(GRANULARITIES))
     p.add_argument("--race-granularity", default="word",
@@ -653,7 +703,7 @@ def main(argv=None) -> int:
                         "sb, mp, lb, iriw, lock-handoff, barrier-reset)")
     p.add_argument("--protocols", "--protocol", dest="protocols", default=None,
                    help="comma-separated protocol subset "
-                        "(default: sc,swlrc,hlrc)")
+                        "(default: sc,swlrc,hlrc,tardis)")
     p.add_argument("--granularity", default="64",
                    help="comma-separated coherence granularities in bytes "
                         "(default: 64)")
@@ -682,6 +732,37 @@ def main(argv=None) -> int:
     _add_common(p)
     _add_exec(p)
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "scale",
+        help="node-count scaling sweep: speedup and per-block metadata "
+             "bytes vs N (exit 1 on checker findings)",
+    )
+    p.add_argument("--apps", default=None,
+                   help="comma-separated app subset (default: lu,ocean-rowwise)")
+    p.add_argument("--protocols", default=None,
+                   help="comma-separated protocol subset "
+                        "(default: the registry's scaling set "
+                        "sc,swlrc,hlrc,tardis)")
+    p.add_argument("--granularities", default=None,
+                   help="comma-separated granularity subset (default: 1024,4096)")
+    p.add_argument("--nodes", default=None,
+                   help="comma-separated node counts "
+                        "(default: 16,64,128,512,1024)")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "default", "full"],
+                   help="problem scale (default tiny -- the metadata and "
+                        "trend curves are insensitive to problem size)")
+    p.add_argument("--mechanism", default="polling",
+                   choices=["polling", "interrupt"])
+    p.add_argument("--check", action="store_true",
+                   help="run every cell under the race detector and "
+                        "invariant sanitizer")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the markdown report to FILE instead of stdout")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the raw sweep data as JSON to FILE")
+    p.set_defaults(fn=cmd_scale)
 
     args = ap.parse_args(argv)
     return args.fn(args)

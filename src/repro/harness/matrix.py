@@ -14,13 +14,16 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.config import GRANULARITIES
+from repro.core.registry import evaluated_protocols
 from repro.exec.cache import ResultCache
 from repro.exec.events import EventLog
 from repro.exec.pool import execute, execute_many
 from repro.exec.serialize import RunRecord
 from repro.harness.experiment import RunConfig, run_experiment
 
-PROTOCOLS = ("sc", "swlrc", "hlrc")
+#: the paper's evaluated trio, in paper order (from the registry -- the
+#: single source of truth for which protocols exist)
+PROTOCOLS = evaluated_protocols()
 
 #: in-process memo keyed by RunConfig (records, not Machines)
 _CACHE: Dict[RunConfig, RunRecord] = {}

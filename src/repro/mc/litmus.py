@@ -23,8 +23,10 @@ Models
 
 An ``allowed`` value of ``None`` means *any outcome is allowed* (the
 schedule is still checked by the sanitizer).  Protocols map to models
-through :func:`model_of`: ``sc`` implements ``sc``, everything else
-implements (at least) ``lrc``.
+through :func:`model_of`, which reads the declared ``memory_model``
+from :mod:`repro.core.registry` -- a protocol is vetted against the
+contract it *claims*, so tardis (timestamp leases, no notices) faces
+the same ``lrc`` outcome sets as SW-LRC/HLRC.
 
 Outcomes are the flattened per-rank generator return values -- each
 rank returns a tuple of the values it observed, and the outcome tuple
@@ -47,8 +49,10 @@ Outcome = Tuple[int, ...]
 
 
 def model_of(protocol: str) -> str:
-    """Memory model a protocol claims to implement."""
-    return "sc" if protocol == "sc" else "lrc"
+    """Memory model a protocol claims to implement (from the registry)."""
+    from repro.core.registry import memory_model_of
+
+    return memory_model_of(protocol)
 
 
 @dataclass

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.config import MachineParams, hops_between
+from repro.cluster.config import MachineParams, hops_between, switch_of
 from repro.net.faultplan import FaultPlan
 from repro.net.message import Message
 from repro.sim.engine import Engine
@@ -81,12 +81,20 @@ class Network:
         self._faults = faults
         #: per-node time at which the NIC becomes free to inject
         self._nic_free: List[float] = [0.0] * params.n_nodes
-        #: hop latency precomputed per (src, dst) -- the topology is
-        #: static, so no reason to recompute switch distances per send
+        #: hop latency precomputed per (src switch, dst switch) -- the
+        #: topology is static, so no reason to recompute switch
+        #: distances per send.  Indexing by switch keeps the table
+        #: O((N/6)^2) instead of O(N^2): a 1024-node machine needs a
+        #: 171x171 table, not a million-entry one.
         n = params.n_nodes
+        self._switch: List[int] = [switch_of(a) for a in range(n)]
+        n_switches = self._switch[-1] + 1 if n else 0
         self._hop_us: List[List[float]] = [
-            [hops_between(a, b) * params.switch_hop_us for b in range(n)]
-            for a in range(n)
+            # Representative hosts a*6 / b*6: hop count is a function
+            # of the switch pair only.
+            [hops_between(a * 6, b * 6, n) * params.switch_hop_us
+             for b in range(n_switches)]
+            for a in range(n_switches)
         ]
         #: per-size (latency, occupancy) -- both are pure functions of
         #: size and the static machine params, and a cell only ever sees
@@ -117,7 +125,8 @@ class Network:
             self._cost_by_size[size] = cost
         start = max(now, self._nic_free[msg.src])
         self._nic_free[msg.src] = start + cost[1]
-        latency = cost[0] + self._hop_us[msg.src][msg.dst]
+        sw = self._switch
+        latency = cost[0] + self._hop_us[sw[msg.src]][sw[msg.dst]]
         if self._faults is not None:
             self._faulty_send(msg, start, latency)
             return
